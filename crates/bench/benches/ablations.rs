@@ -1,0 +1,119 @@
+//! Ablation benchmarks: the design-space axes DESIGN.md calls out —
+//! prefetch policy, arbitration priority, instruction format, and
+//! intermediate memory access times.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipe_bench::{bench_suite, BENCH_SCALE};
+use pipe_core::{run_program, SimConfig};
+use pipe_experiments::StrategyKind;
+use pipe_icache::PrefetchPolicy;
+use pipe_isa::InstrFormat;
+use pipe_mem::{MemConfig, PriorityPolicy};
+use pipe_workloads::LivermoreSuite;
+use std::hint::black_box;
+
+fn slow_mem() -> MemConfig {
+    MemConfig {
+        access_cycles: 6,
+        in_bus_bytes: 8,
+        ..MemConfig::default()
+    }
+}
+
+fn run(suite: &LivermoreSuite, fetch: pipe_core::FetchStrategy, mem: MemConfig) -> u64 {
+    let cfg = SimConfig {
+        fetch,
+        mem,
+        max_cycles: 500_000_000,
+        ..SimConfig::default()
+    };
+    run_program(suite.program(), &cfg).expect("run succeeds").cycles
+}
+
+fn ablations(c: &mut Criterion) {
+    let suite = bench_suite();
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Prefetch policy (PIPE 16-16 at 32 B — the paper's §6 observation
+    // that the chip's guaranteed-only policy is non-optimal).
+    for (policy, name) in [
+        (PrefetchPolicy::TruePrefetch, "true-prefetch"),
+        (PrefetchPolicy::GuaranteedOnly, "guaranteed-only"),
+    ] {
+        let fetch = StrategyKind::Pipe16x16.fetch_for(32, policy).unwrap();
+        group.bench_function(format!("policy/{name}"), |b| {
+            b.iter(|| black_box(run(&suite, fetch, slow_mem())))
+        });
+    }
+
+    // Arbitration priority (paper §5 selectable priority).
+    for priority in [PriorityPolicy::InstructionFirst, PriorityPolicy::DataFirst] {
+        let fetch = StrategyKind::Pipe16x16
+            .fetch_for(32, PrefetchPolicy::TruePrefetch)
+            .unwrap();
+        let mem = MemConfig {
+            priority,
+            ..slow_mem()
+        };
+        group.bench_function(format!("priority/{priority}"), |b| {
+            b.iter(|| black_box(run(&suite, fetch, mem.clone())))
+        });
+    }
+
+    // Access times 2 and 3 ("similar results" claim).
+    for access in [2u32, 3] {
+        let fetch = StrategyKind::Pipe16x16
+            .fetch_for(32, PrefetchPolicy::TruePrefetch)
+            .unwrap();
+        let mem = MemConfig {
+            access_cycles: access,
+            ..slow_mem()
+        };
+        group.bench_function(format!("access/{access}-cycle"), |b| {
+            b.iter(|| black_box(run(&suite, fetch, mem.clone())))
+        });
+    }
+
+    // Instruction format (paper parameter 1).
+    for format in [InstrFormat::Fixed32, InstrFormat::Mixed] {
+        let fsuite = LivermoreSuite::build_scaled(format, BENCH_SCALE).unwrap();
+        let fetch = StrategyKind::Pipe16x16
+            .fetch_for(32, PrefetchPolicy::TruePrefetch)
+            .unwrap();
+        group.bench_function(format!("format/{format}"), |b| {
+            b.iter(|| black_box(run(&fsuite, fetch, slow_mem())))
+        });
+    }
+
+    // Section 2.1 engines at a 32-byte hardware budget.
+    for kind in [StrategyKind::Conventional, StrategyKind::Tib16, StrategyKind::Pipe16x16] {
+        let fetch = kind.fetch_for(32, PrefetchPolicy::TruePrefetch).unwrap();
+        group.bench_function(format!("engine/{kind}"), |b| {
+            b.iter(|| black_box(run(&suite, fetch, slow_mem())))
+        });
+    }
+    for buffers in [1u32, 4] {
+        let fetch = pipe_core::FetchStrategy::Buffers(pipe_icache::BufferConfig {
+            buffers,
+            cache: None,
+        });
+        let mem = pipe_mem::MemConfig {
+            pipelined: true,
+            ..slow_mem()
+        };
+        group.bench_function(format!("engine/buffers-{buffers}"), |b| {
+            b.iter(|| black_box(run(&suite, fetch, mem.clone())))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Component micro-benchmarks: the building blocks under the simulator.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipe_icache::{CacheConfig, InstructionCache, ParcelQueue};
+use pipe_isa::{decode, encode, AluOp, InstrFormat, Instruction, Reg};
+use pipe_mem::{MemConfig, MemRequest, MemorySystem, ReqClass};
+use std::hint::black_box;
+
+fn components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // ISA encode/decode round-trip throughput.
+    let instr = Instruction::AluImm {
+        op: AluOp::Add,
+        rd: Reg::new(3),
+        rs1: Reg::new(4),
+        imm: 1234,
+    };
+    group.bench_function("isa/encode-decode", |b| {
+        b.iter(|| {
+            let e = encode(black_box(&instr), InstrFormat::Fixed32);
+            let p = e.parcels();
+            black_box(decode(p[0], p.get(1).copied()).unwrap())
+        })
+    });
+
+    // Cache probe+fill on a hot loop footprint.
+    group.bench_function("cache/probe-fill", |b| {
+        let mut cache = InstructionCache::new(CacheConfig::new(128, 16));
+        b.iter(|| {
+            for addr in (0u32..256).step_by(4) {
+                if !cache.contains(addr, 4) {
+                    cache.fill(addr, 4);
+                }
+                black_box(cache.contains(addr, 4));
+            }
+        })
+    });
+
+    // Parcel queue transfer (the IQB→IQ path).
+    group.bench_function("queue/take-from", |b| {
+        b.iter(|| {
+            let mut iq = ParcelQueue::new(16);
+            let mut iqb = ParcelQueue::new(16);
+            for i in 0..8u32 {
+                iqb.push(i * 2, i as u16);
+            }
+            let room = iq.room();
+            black_box(iq.take_from(&mut iqb, room));
+        })
+    });
+
+    // Memory system: sustained load stream, non-pipelined vs pipelined.
+    for pipelined in [false, true] {
+        let name = if pipelined { "pipelined" } else { "non-pipelined" };
+        group.bench_function(format!("mem/tick-{name}"), |b| {
+            b.iter(|| {
+                let mut mem = MemorySystem::new(MemConfig {
+                    access_cycles: 6,
+                    pipelined,
+                    ..MemConfig::default()
+                });
+                for i in 0..200u32 {
+                    let tag = mem.new_tag();
+                    mem.offer(MemRequest::load(ReqClass::DataLoad, i * 4, 4, tag));
+                    black_box(mem.tick());
+                }
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, components);
+criterion_main!(benches);

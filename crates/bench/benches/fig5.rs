@@ -1,0 +1,32 @@
+//! Figure 5 benchmark: 6-cycle memory, non-pipelined, 4- vs 8-byte bus —
+//! the regime where every PIPE configuration beats the conventional cache.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipe_bench::{bench_suite, figure_mem, run_figure_point};
+use pipe_experiments::ALL_STRATEGIES;
+use std::hint::black_box;
+
+fn fig5(c: &mut Criterion) {
+    let suite = bench_suite();
+    for panel in ["5a", "5b"] {
+        let mem = figure_mem(panel);
+        let mut group = c.benchmark_group(format!("fig{panel}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        for kind in ALL_STRATEGIES {
+            for size in [32u32, 128] {
+                group.bench_function(format!("{kind}/{size}B"), |b| {
+                    b.iter(|| black_box(run_figure_point(&suite, kind, size, &mem)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 6 benchmark: 6-cycle memory, 8-byte bus, non-pipelined (6a)
+//! versus pipelined (6b) external memory.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipe_bench::{bench_suite, figure_mem, run_figure_point};
+use pipe_experiments::ALL_STRATEGIES;
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let suite = bench_suite();
+    for panel in ["6a", "6b"] {
+        let mem = figure_mem(panel);
+        let mut group = c.benchmark_group(format!("fig{panel}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        for kind in ALL_STRATEGIES {
+            for size in [32u32, 128] {
+                group.bench_function(format!("{kind}/{size}B"), |b| {
+                    b.iter(|| black_box(run_figure_point(&suite, kind, size, &mem)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table I benchmark: building the calibrated Livermore suite and running
+//! individual kernels on the default (PIPE chip) configuration.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipe_core::{run_program, FetchStrategy, SimConfig};
+use pipe_icache::PipeFetchConfig;
+use pipe_isa::InstrFormat;
+use pipe_workloads::livermore::single_kernel_program;
+use pipe_workloads::LivermoreSuite;
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("build-calibrated-suite", |b| {
+        b.iter(|| black_box(LivermoreSuite::build(InstrFormat::Fixed32).unwrap()))
+    });
+
+    // Run each kernel for a fixed trip count on the as-built PIPE chip
+    // configuration (128 B cache, 8 B lines/IQ/IQB).
+    let cfg = SimConfig {
+        fetch: FetchStrategy::Pipe(PipeFetchConfig::table2(128, 8, 8, 8)),
+        ..SimConfig::default()
+    };
+    for index in 1..=14usize {
+        let program = single_kernel_program(index, 50, InstrFormat::Fixed32).unwrap();
+        group.bench_function(format!("kernel-{index:02}"), |b| {
+            b.iter(|| black_box(run_program(&program, &cfg).unwrap().cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! # pipe-bench
+//!
+//! Criterion benchmarks regenerating the paper's tables and figures (see
+//! `benches/`), plus shared helpers.
+//!
+//! Each figure bench sweeps the five Table II strategies at representative
+//! cache sizes under that figure's memory parameters, using a trip-scaled
+//! Livermore suite so a single Criterion iteration stays in the tens of
+//! milliseconds. The *shapes* (who wins, by what factor) match the full
+//! runs produced by the `repro` binary; absolute cycle counts scale with
+//! the trip divisor.
+
+use pipe_core::{run_program, FetchStrategy, SimConfig};
+use pipe_experiments::StrategyKind;
+use pipe_icache::PrefetchPolicy;
+use pipe_isa::InstrFormat;
+use pipe_mem::MemConfig;
+use pipe_workloads::LivermoreSuite;
+
+/// Trip divisor for bench iterations.
+pub const BENCH_SCALE: u32 = 10;
+
+/// Builds the trip-scaled Livermore suite used by the benches.
+pub fn bench_suite() -> LivermoreSuite {
+    LivermoreSuite::build_scaled(InstrFormat::Fixed32, BENCH_SCALE).expect("suite builds")
+}
+
+/// Runs one strategy/cache-size point of a figure and returns total
+/// cycles (the value Criterion's iterations time).
+pub fn run_figure_point(
+    suite: &LivermoreSuite,
+    kind: StrategyKind,
+    cache_bytes: u32,
+    mem: &MemConfig,
+) -> u64 {
+    let fetch: FetchStrategy = kind
+        .fetch_for(cache_bytes, PrefetchPolicy::TruePrefetch)
+        .expect("valid point");
+    let cfg = SimConfig {
+        fetch,
+        mem: mem.clone(),
+        max_cycles: 500_000_000,
+        ..SimConfig::default()
+    };
+    run_program(suite.program(), &cfg)
+        .expect("run succeeds")
+        .cycles
+}
+
+/// The memory configuration of a paper figure panel (re-exported from the
+/// experiments crate for bench use).
+pub fn figure_mem(id: &str) -> MemConfig {
+    pipe_experiments::figures::figure_mem(id).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_points_run() {
+        let suite = bench_suite();
+        let mem = figure_mem("4a");
+        let cycles = run_figure_point(&suite, StrategyKind::Pipe16x16, 64, &mem);
+        assert!(cycles > 0);
+    }
+}

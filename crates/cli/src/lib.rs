@@ -1,0 +1,496 @@
+//! # pipe-cli
+//!
+//! Command-line front ends for the PIPE simulator:
+//!
+//! * **`pipe-sim`** — assemble a PIPE program and run it on a configurable
+//!   processor (fetch strategy, cache geometry, memory timing), printing
+//!   statistics and optionally a cycle trace.
+//! * **`pipe-asm`** — assemble a program and print its disassembly or
+//!   parcel hex dump.
+//!
+//! Argument parsing lives here so it can be unit tested; the binaries are
+//! thin wrappers.
+
+use pipe_core::{FetchStrategy, SimConfig};
+use pipe_icache::{CacheConfig, ConvPrefetch, PipeFetchConfig, TibConfig};
+use pipe_isa::InstrFormat;
+use pipe_mem::{MemConfig, PriorityPolicy};
+
+/// Options for `pipe-sim`, parsed from the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Path to the assembly source, or `None` for `--livermore`.
+    pub input: Option<String>,
+    /// Run the built-in Livermore benchmark instead of a file.
+    pub livermore: bool,
+    /// The simulation configuration.
+    pub config: SimConfig,
+    /// Instruction format for assembly.
+    pub format: InstrFormat,
+    /// Attach a text trace to stderr.
+    pub trace: bool,
+    /// Emit statistics as JSON instead of text.
+    pub json: bool,
+    /// Run the program on every fetch strategy and print a comparison.
+    pub compare: bool,
+    /// Raw cache size from the command line (for `--compare`).
+    pub cache_bytes: u32,
+    /// Raw line size from the command line (for `--compare`).
+    pub line_bytes: u32,
+}
+
+/// The usage string for `pipe-sim`.
+pub const SIM_USAGE: &str = "\
+usage: pipe-sim <program.s> [options]
+       pipe-sim --livermore [options]
+
+fetch strategy:
+  --fetch pipe|conventional|tib|buffers|perfect   (default: pipe)
+  --cache BYTES        cache size / TIB budget; 0 = no cache for buffers
+                       (default: 128)
+  --line BYTES         cache line size              (default: 16)
+  --iq BYTES           PIPE instruction queue bytes, or buffer count for
+                       --fetch buffers              (default: line / 4)
+  --iqb BYTES          PIPE instruction queue buffer(default: line)
+  --prefetch always|on-miss|tagged   conventional prefetch (default: always)
+
+memory:
+  --access CYCLES      memory access time           (default: 1)
+  --bus BYTES          input bus width              (default: 4)
+  --pipelined          pipelined external memory
+  --data-first         data beats instructions at the memory interface
+
+other:
+  --format fixed32|mixed   instruction format       (default: fixed32)
+  --trace              print a cycle trace to stderr
+  --json               emit statistics as JSON
+  --compare            run on every fetch strategy and compare
+  --max-cycles N       abort after N cycles
+";
+
+fn parse_num(flag: &str, value: Option<&String>) -> Result<u32, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("{flag}: invalid number `{v}`"))
+}
+
+/// Parses `pipe-sim` arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags, missing values, or
+/// inconsistent combinations.
+pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
+    let mut input = None;
+    let mut livermore = false;
+    let mut fetch_kind = "pipe".to_string();
+    let mut cache = 128u32;
+    let mut line = 16u32;
+    let mut iq = None;
+    let mut iqb = None;
+    let mut prefetch = ConvPrefetch::Always;
+    let mut mem = MemConfig::default();
+    let mut format = InstrFormat::Fixed32;
+    let mut trace = false;
+    let mut json = false;
+    let mut compare = false;
+    let mut max_cycles = 500_000_000u64;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--livermore" => livermore = true,
+            "--fetch" => {
+                fetch_kind = it
+                    .next()
+                    .ok_or("--fetch needs a value")?
+                    .to_ascii_lowercase();
+            }
+            "--cache" => cache = parse_num("--cache", it.next())?,
+            "--line" => line = parse_num("--line", it.next())?,
+            "--iq" => iq = Some(parse_num("--iq", it.next())?),
+            "--iqb" => iqb = Some(parse_num("--iqb", it.next())?),
+            "--prefetch" => {
+                prefetch = match it.next().map(String::as_str) {
+                    Some("always") => ConvPrefetch::Always,
+                    Some("on-miss") => ConvPrefetch::OnMissOnly,
+                    Some("tagged") => ConvPrefetch::Tagged,
+                    other => return Err(format!("--prefetch: unknown mode {other:?}")),
+                };
+            }
+            "--access" => mem.access_cycles = parse_num("--access", it.next())?,
+            "--bus" => mem.in_bus_bytes = parse_num("--bus", it.next())?,
+            "--pipelined" => mem.pipelined = true,
+            "--data-first" => mem.priority = PriorityPolicy::DataFirst,
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("fixed32") => InstrFormat::Fixed32,
+                    Some("mixed") => InstrFormat::Mixed,
+                    other => return Err(format!("--format: unknown format {other:?}")),
+                };
+            }
+            "--trace" => trace = true,
+            "--json" => json = true,
+            "--compare" => compare = true,
+            "--max-cycles" => {
+                max_cycles = u64::from(parse_num("--max-cycles", it.next())?);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            path => {
+                if input.is_some() {
+                    return Err("more than one input file".into());
+                }
+                input = Some(path.to_string());
+            }
+        }
+    }
+
+    if input.is_none() && !livermore {
+        return Err("no input program (give a file or --livermore)".into());
+    }
+    if input.is_some() && livermore {
+        return Err("--livermore conflicts with an input file".into());
+    }
+
+    let fetch = match fetch_kind.as_str() {
+        "perfect" => FetchStrategy::Perfect,
+        "conventional" => {
+            let cc = CacheConfig::new(cache, line);
+            if prefetch == ConvPrefetch::Always {
+                FetchStrategy::Conventional(cc)
+            } else {
+                FetchStrategy::ConventionalPrefetch(cc, prefetch)
+            }
+        }
+        "pipe" => FetchStrategy::Pipe(PipeFetchConfig::table2(
+            cache,
+            line,
+            iq.unwrap_or(line),
+            iqb.unwrap_or(line),
+        )),
+        "tib" => FetchStrategy::Tib(TibConfig::with_budget(cache, line)),
+        "buffers" => FetchStrategy::Buffers(pipe_icache::BufferConfig {
+            buffers: iq.unwrap_or(4),
+            cache: (cache > 0).then(|| CacheConfig::new(cache, line)),
+        }),
+        other => return Err(format!("--fetch: unknown strategy `{other}`")),
+    };
+
+    let config = SimConfig {
+        fetch,
+        mem,
+        max_cycles,
+        ..SimConfig::default()
+    };
+    config.validate()?;
+
+    Ok(SimOptions {
+        input,
+        livermore,
+        config,
+        format,
+        trace,
+        json,
+        compare,
+        cache_bytes: cache,
+        line_bytes: line,
+    })
+}
+
+/// Serializes run statistics as a JSON object (hand-rolled; the stats are
+/// all integers so no escaping is needed beyond the fixed keys).
+pub fn stats_json(stats: &pipe_core::SimStats) -> String {
+    format!(
+        concat!(
+            "{{\"cycles\":{},\"instructions\":{},\"cpi\":{:.4},",
+            "\"loads\":{},\"stores\":{},\"fpu_ops\":{},",
+            "\"branches_taken\":{},\"branches_not_taken\":{},",
+            "\"stalls\":{{\"ifetch\":{},\"data_wait\":{},\"queue_full\":{},\"branch\":{}}},",
+            "\"fetch\":{{\"demand_requests\":{},\"prefetch_requests\":{},",
+            "\"bytes_requested\":{},\"cache_hits\":{},\"cache_misses\":{},",
+            "\"redirects\":{},\"wasted_requests\":{}}}}}"
+        ),
+        stats.cycles,
+        stats.instructions_issued,
+        stats.cpi(),
+        stats.loads,
+        stats.stores,
+        stats.fpu_ops,
+        stats.branches_taken,
+        stats.branches_not_taken,
+        stats.stalls.ifetch,
+        stats.stalls.data_wait,
+        stats.stalls.queue_full,
+        stats.stalls.branch,
+        stats.fetch.demand_requests,
+        stats.fetch.prefetch_requests,
+        stats.fetch.bytes_requested,
+        stats.fetch.cache_hits,
+        stats.fetch.cache_misses,
+        stats.fetch.redirects,
+        stats.fetch.wasted_requests,
+    )
+}
+
+/// Runs `program` under every fetch strategy at the given base
+/// configuration and returns `(label, stats)` per strategy, in a fixed
+/// presentation order. Strategies whose geometry is invalid for the
+/// configured cache size are skipped.
+pub fn run_comparison(
+    program: &pipe_isa::Program,
+    base: &SimConfig,
+    cache: u32,
+    line: u32,
+) -> Vec<(String, pipe_core::SimStats)> {
+    let strategies: Vec<FetchStrategy> = vec![
+        FetchStrategy::Perfect,
+        FetchStrategy::Conventional(CacheConfig::new(cache.max(line), line)),
+        FetchStrategy::Pipe(PipeFetchConfig::table2(cache.max(line), line, line, line)),
+        FetchStrategy::Tib(TibConfig::with_budget(cache.max(line), line)),
+        FetchStrategy::Buffers(pipe_icache::BufferConfig {
+            buffers: 4,
+            cache: None,
+        }),
+    ];
+    strategies
+        .into_iter()
+        .filter_map(|fetch| {
+            let cfg = SimConfig {
+                fetch,
+                ..base.clone()
+            };
+            cfg.validate().ok()?;
+            let stats = pipe_core::run_program(program, &cfg).ok()?;
+            Some((fetch.label(), stats))
+        })
+        .collect()
+}
+
+/// Renders a comparison as a text table.
+pub fn render_comparison(rows: &[(String, pipe_core::SimStats)]) -> String {
+    let mut out = String::from(
+        "strategy                                  cycles    CPI   ifetch-stall  bytes-fetched\n",
+    );
+    for (label, s) in rows {
+        out.push_str(&format!(
+            "{:<38} {:>9}  {:>5.2}  {:>12}  {:>13}\n",
+            label, s.cycles, s.cpi(), s.stalls.ifetch, s.fetch.bytes_requested
+        ));
+    }
+    out
+}
+
+/// Options for `pipe-asm`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmOptions {
+    /// Path to the assembly source.
+    pub input: String,
+    /// Instruction format.
+    pub format: InstrFormat,
+    /// Print a hex dump of the parcels instead of a disassembly.
+    pub hex: bool,
+    /// Write the assembled program to this binary file.
+    pub output: Option<String>,
+}
+
+/// The usage string for `pipe-asm`.
+pub const ASM_USAGE: &str = "\
+usage: pipe-asm <program.s> [--format fixed32|mixed] [--hex] [-o out.bin]
+
+Assembles a PIPE program and prints its disassembly (default) or a parcel
+hex dump (--hex). With -o, also writes a binary image that pipe-sim can
+run directly.
+";
+
+/// Parses `pipe-asm` arguments.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags or a missing input.
+pub fn parse_asm_args(args: &[String]) -> Result<AsmOptions, String> {
+    let mut input = None;
+    let mut format = InstrFormat::Fixed32;
+    let mut hex = false;
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("fixed32") => InstrFormat::Fixed32,
+                    Some("mixed") => InstrFormat::Mixed,
+                    other => return Err(format!("--format: unknown format {other:?}")),
+                };
+            }
+            "--hex" => hex = true,
+            "-o" | "--output" => {
+                output = Some(it.next().ok_or("-o needs a file name")?.to_string());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            path => {
+                if input.is_some() {
+                    return Err("more than one input file".into());
+                }
+                input = Some(path.to_string());
+            }
+        }
+    }
+    Ok(AsmOptions {
+        input: input.ok_or("no input program")?,
+        format,
+        hex,
+        output,
+    })
+}
+
+/// Loads a program from `path`: the PIPE binary container if the file
+/// starts with its magic, assembly text otherwise.
+///
+/// # Errors
+///
+/// Returns a user-facing message for I/O, assembly, or container errors.
+pub fn load_program(path: &str, format: InstrFormat) -> Result<pipe_isa::Program, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(&pipe_isa::binfmt::MAGIC) {
+        return pipe_isa::read_program(&bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let source = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8 assembly"))?;
+    pipe_isa::Assembler::new(format)
+        .assemble(&source)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Renders a parcel hex dump, 8 parcels per line with byte addresses.
+pub fn hex_dump(program: &pipe_isa::Program) -> String {
+    let mut out = String::new();
+    for (i, chunk) in program.parcels().chunks(8).enumerate() {
+        out.push_str(&format!("{:06x}:", program.base() as usize + i * 16));
+        for p in chunk {
+            out.push_str(&format!(" {p:04x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn sim_defaults() {
+        let o = parse_sim_args(&args("prog.s")).unwrap();
+        assert_eq!(o.input.as_deref(), Some("prog.s"));
+        assert!(!o.livermore);
+        assert!(matches!(o.config.fetch, FetchStrategy::Pipe(_)));
+        assert_eq!(o.format, InstrFormat::Fixed32);
+    }
+
+    #[test]
+    fn sim_full_flags() {
+        let o = parse_sim_args(&args(
+            "--livermore --fetch conventional --cache 64 --line 16 --access 6 --bus 8 --pipelined --data-first --trace",
+        ))
+        .unwrap();
+        assert!(o.livermore);
+        assert!(matches!(o.config.fetch, FetchStrategy::Conventional(c) if c.size_bytes == 64));
+        assert_eq!(o.config.mem.access_cycles, 6);
+        assert_eq!(o.config.mem.in_bus_bytes, 8);
+        assert!(o.config.mem.pipelined);
+        assert_eq!(o.config.mem.priority, PriorityPolicy::DataFirst);
+        assert!(o.trace);
+    }
+
+    #[test]
+    fn sim_pipe_queue_sizes_default_to_line() {
+        let o = parse_sim_args(&args("p.s --fetch pipe --cache 64 --line 32")).unwrap();
+        match o.config.fetch {
+            FetchStrategy::Pipe(c) => {
+                assert_eq!(c.iq_bytes, 32);
+                assert_eq!(c.iqb_bytes, 32);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_prefetch_modes() {
+        let o = parse_sim_args(&args("p.s --fetch conventional --prefetch tagged")).unwrap();
+        assert!(matches!(
+            o.config.fetch,
+            FetchStrategy::ConventionalPrefetch(_, ConvPrefetch::Tagged)
+        ));
+    }
+
+    #[test]
+    fn sim_rejects_bad_input() {
+        assert!(parse_sim_args(&args("")).is_err());
+        assert!(parse_sim_args(&args("a.s b.s")).is_err());
+        assert!(parse_sim_args(&args("a.s --livermore")).is_err());
+        assert!(parse_sim_args(&args("a.s --fetch warp")).is_err());
+        assert!(parse_sim_args(&args("a.s --cache")).is_err());
+        assert!(parse_sim_args(&args("a.s --bogus")).is_err());
+        // Invalid geometry caught by config validation.
+        assert!(parse_sim_args(&args("a.s --cache 8 --line 16")).is_err());
+    }
+
+    #[test]
+    fn asm_parsing() {
+        let o = parse_asm_args(&args("p.s --format mixed --hex")).unwrap();
+        assert_eq!(o.input, "p.s");
+        assert_eq!(o.format, InstrFormat::Mixed);
+        assert!(o.hex);
+        assert!(parse_asm_args(&args("--hex")).is_err());
+    }
+
+    #[test]
+    fn json_and_compare_flags() {
+        let o = parse_sim_args(&args("p.s --json --compare --cache 64 --line 16")).unwrap();
+        assert!(o.json);
+        assert!(o.compare);
+        assert_eq!(o.cache_bytes, 64);
+        assert_eq!(o.line_bytes, 16);
+    }
+
+    #[test]
+    fn stats_json_is_valid_shape() {
+        let stats = pipe_core::SimStats {
+            cycles: 100,
+            instructions_issued: 40,
+            ..Default::default()
+        };
+        let j = stats_json(&stats);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"cycles\":100"));
+        assert!(j.contains("\"cpi\":2.5000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn comparison_runs_every_strategy() {
+        let p = pipe_isa::Assembler::new(InstrFormat::Fixed32)
+            .assemble("lim r1, 3\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n")
+            .unwrap();
+        let rows = run_comparison(&p, &SimConfig::default(), 64, 16);
+        assert_eq!(rows.len(), 5);
+        // Perfect fetch is the lower bound.
+        let perfect = rows[0].1.cycles;
+        assert!(rows.iter().all(|(_, s)| s.cycles >= perfect));
+        let text = render_comparison(&rows);
+        assert!(text.contains("perfect"));
+        assert!(text.contains("tib"));
+    }
+
+    #[test]
+    fn hex_dump_format() {
+        let p = pipe_isa::Assembler::new(InstrFormat::Fixed32)
+            .assemble("nop\nhalt\n")
+            .unwrap();
+        let dump = hex_dump(&p);
+        assert!(dump.starts_with("000000:"));
+        assert_eq!(dump.lines().count(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulation configuration.
+
+use std::fmt;
+
+use pipe_icache::{BufferConfig, CacheConfig, ConvPrefetch, PipeFetchConfig, TibConfig};
+use pipe_mem::MemConfig;
+
+/// Which instruction-fetch front-end to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchStrategy {
+    /// Perfect fetch: one instruction per cycle, no memory traffic. For
+    /// functional testing and upper-bound comparisons.
+    Perfect,
+    /// Hill's always-prefetch conventional cache (paper §4.1).
+    Conventional(CacheConfig),
+    /// A conventional cache with one of Hill's alternative prefetch
+    /// strategies (on-miss-only, tagged).
+    ConventionalPrefetch(CacheConfig, ConvPrefetch),
+    /// The PIPE cache + IQ + IQB strategy (paper §4.2).
+    Pipe(PipeFetchConfig),
+    /// A cache-less Target Instruction Buffer (paper §2.1, AMD29000
+    /// style).
+    Tib(TibConfig),
+    /// Rau & Rossman-style prefetch buffers with an optional instruction
+    /// cache (paper §2.1).
+    Buffers(BufferConfig),
+}
+
+impl FetchStrategy {
+    /// A short name for reports.
+    pub fn label(&self) -> String {
+        match self {
+            FetchStrategy::Perfect => "perfect".to_string(),
+            FetchStrategy::Conventional(c) => format!("conventional({}B)", c.size_bytes),
+            FetchStrategy::ConventionalPrefetch(c, p) => {
+                format!("conventional({}B, {p})", c.size_bytes)
+            }
+            FetchStrategy::Pipe(c) => format!(
+                "pipe({}B, line {}, iq {}, iqb {})",
+                c.cache.size_bytes, c.cache.line_bytes, c.iq_bytes, c.iqb_bytes
+            ),
+            FetchStrategy::Tib(c) => {
+                format!("tib({}x{}B)", c.entries, c.entry_bytes)
+            }
+            FetchStrategy::Buffers(c) => match c.cache {
+                Some(cache) => format!("buffers({}x4B + {}B cache)", c.buffers, cache.size_bytes),
+                None => format!("buffers({}x4B)", c.buffers),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FetchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Full simulation configuration: memory system, fetch strategy, and the
+/// architectural queue capacities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// External memory parameters.
+    pub mem: MemConfig,
+    /// Instruction fetch front-end.
+    pub fetch: FetchStrategy,
+    /// Load Address Queue entries.
+    pub laq_entries: usize,
+    /// Load (data) Queue slots.
+    pub ldq_entries: usize,
+    /// Store Address Queue entries.
+    pub saq_entries: usize,
+    /// Store Data Queue entries.
+    pub sdq_entries: usize,
+    /// Abort the run after this many cycles (guards against deadlock bugs).
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid memory/fetch parameters or zero queue
+    /// capacities.
+    pub fn validate(&self) -> Result<(), String> {
+        self.mem.validate()?;
+        match &self.fetch {
+            FetchStrategy::Perfect => {}
+            FetchStrategy::Conventional(c) | FetchStrategy::ConventionalPrefetch(c, _) => {
+                c.validate()?
+            }
+            FetchStrategy::Pipe(c) => c.validate()?,
+            FetchStrategy::Tib(c) => c.validate()?,
+            FetchStrategy::Buffers(c) => c.validate()?,
+        }
+        for (name, v) in [
+            ("laq_entries", self.laq_entries),
+            ("ldq_entries", self.ldq_entries),
+            ("saq_entries", self.saq_entries),
+            ("sdq_entries", self.sdq_entries),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        if self.max_cycles == 0 {
+            return Err("max_cycles must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    /// The PIPE chip as built: a 128-byte cache of sixteen 8-byte (4-word)
+    /// lines with 8-byte IQ and IQB (paper §3.2), fast external memory,
+    /// and 8-entry architectural queues.
+    fn default() -> SimConfig {
+        SimConfig {
+            mem: MemConfig::default(),
+            fetch: FetchStrategy::Pipe(PipeFetchConfig::table2(128, 8, 8, 8)),
+            laq_entries: 8,
+            ldq_entries: 8,
+            saq_entries: 8,
+            sdq_entries: 8,
+            max_cycles: 500_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_chip() {
+        let c = SimConfig::default();
+        assert!(c.validate().is_ok());
+        match c.fetch {
+            FetchStrategy::Pipe(p) => {
+                assert_eq!(p.cache.size_bytes, 128);
+                assert_eq!(p.cache.line_bytes, 8);
+                assert_eq!(p.iq_bytes, 8);
+                assert_eq!(p.iqb_bytes, 8);
+            }
+            other => panic!("unexpected default: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_catches_zero_queues() {
+        let mut c = SimConfig::default();
+        c.ldq_entries = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FetchStrategy::Perfect.label(), "perfect");
+        assert!(FetchStrategy::Conventional(CacheConfig::new(64, 16))
+            .label()
+            .contains("64"));
+    }
+}

@@ -1,0 +1,443 @@
+//! A timing-free functional reference interpreter.
+//!
+//! Executes a PIPE program with the same *architectural* semantics as the
+//! cycle-level [`Processor`](crate::Processor) — queue-register FIFO
+//! discipline, prepare-to-branch delay slots, foreground/background
+//! banks, memory-mapped FPU — but with zero-latency memory and no fetch
+//! or bus modeling. It serves two purposes:
+//!
+//! 1. a **differential oracle**: any program must produce identical final
+//!    register and data-memory state on the interpreter and on the timed
+//!    processor under every fetch engine (tested property);
+//! 2. a fast way to functionally validate generated workloads.
+//!
+//! ```
+//! use pipe_core::interpret;
+//! use pipe_isa::{Assembler, InstrFormat};
+//!
+//! let program = Assembler::new(InstrFormat::Fixed32)
+//!     .assemble("lim r1, 6\nlim r2, 7\nadd r3, r1, r2\nhalt\n")
+//!     .unwrap();
+//! let result = interpret(&program, 1_000).unwrap();
+//! assert_eq!(result.regs[3], 13);
+//! assert_eq!(result.instructions, 4);
+//! ```
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use pipe_isa::{Instruction, Program, Reg};
+use pipe_mem::{DataMemory, FpOp};
+
+use crate::queues::LoadQueue;
+use crate::regfile::{BranchRegFile, RegFile};
+
+/// An error terminating interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The program counter left the program image.
+    PcOutOfRange {
+        /// The offending byte address.
+        pc: u32,
+    },
+    /// An undecodable encoding was reached.
+    Decode(pipe_isa::DecodeError),
+    /// An `r7` read popped an empty (or unfilled) load queue: the program
+    /// consumes more values than it produces.
+    QueueUnderflow {
+        /// Byte address of the reading instruction.
+        pc: u32,
+    },
+    /// The instruction budget was exhausted before `halt`.
+    InstructionLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::PcOutOfRange { pc } => write!(f, "pc {pc:#x} outside program"),
+            InterpError::Decode(e) => write!(f, "decode failed: {e}"),
+            InterpError::QueueUnderflow { pc } => {
+                write!(f, "r7 read with empty load queue at {pc:#x}")
+            }
+            InterpError::InstructionLimit { limit } => {
+                write!(f, "instruction limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+impl From<pipe_isa::DecodeError> for InterpError {
+    fn from(e: pipe_isa::DecodeError) -> InterpError {
+        InterpError::Decode(e)
+    }
+}
+
+/// The final architectural state after interpretation.
+#[derive(Debug, Clone)]
+pub struct InterpResult {
+    /// Instructions executed (including `halt`).
+    pub instructions: u64,
+    /// Final foreground register values `r0..=r7` (the `r7` slot holds its
+    /// last latched value, matching the processor's register file).
+    pub regs: [u32; 8],
+    /// Final data memory.
+    pub memory: DataMemory,
+    /// Taken branches.
+    pub branches_taken: u64,
+    /// Not-taken branches.
+    pub branches_not_taken: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed (including FPU-operand stores).
+    pub stores: u64,
+    /// FPU operations performed.
+    pub fpu_ops: u64,
+}
+
+/// Tiny timing-free FPU mirror: operand-A latch only (results return
+/// synchronously when the operation store drains).
+#[derive(Debug, Default)]
+struct InstantFpu {
+    operand_a: u32,
+}
+
+/// The timing-free interpreter. See the [module docs](self).
+#[derive(Debug)]
+pub struct Interpreter {
+    program: Program,
+    pc: u32,
+    regs: RegFile,
+    bregs: BranchRegFile,
+    memory: DataMemory,
+    /// LDQ slots: allocated at loads and at FPU-op stores (program order),
+    /// exactly like the timed processor's load queue.
+    ldq: LoadQueue,
+    saq: VecDeque<u32>,
+    sdq: VecDeque<u32>,
+    /// Slots awaiting FPU results, in operation order.
+    fpu_slots: VecDeque<u64>,
+    fpu: InstantFpu,
+    pending_branch: Option<(u32, u32)>,
+    halted: bool,
+    result: InterpResult,
+}
+
+impl Interpreter {
+    /// Creates an interpreter positioned at the program's entry point,
+    /// with the program's data image loaded.
+    pub fn new(program: &Program) -> Interpreter {
+        let memory = DataMemory::from_image(program.data().iter().copied());
+        Interpreter {
+            program: program.clone(),
+            pc: program.entry(),
+            regs: RegFile::new(),
+            bregs: BranchRegFile::new(),
+            memory,
+            // The interpreter never stalls, so the queue only needs to be
+            // deep enough for the program's maximum outstanding window.
+            ldq: LoadQueue::new(4096),
+            saq: VecDeque::new(),
+            sdq: VecDeque::new(),
+            fpu_slots: VecDeque::new(),
+            fpu: InstantFpu::default(),
+            pending_branch: None,
+            halted: false,
+            result: InterpResult {
+                instructions: 0,
+                regs: [0; 8],
+                memory: DataMemory::new(),
+                branches_taken: 0,
+                branches_not_taken: 0,
+                loads: 0,
+                stores: 0,
+                fpu_ops: 0,
+            },
+        }
+    }
+
+    fn read(&mut self, r: Reg) -> Result<u32, InterpError> {
+        if r.is_queue() {
+            match self.ldq.front_ready() {
+                Some(v) => {
+                    self.ldq.pop();
+                    Ok(v)
+                }
+                None => Err(InterpError::QueueUnderflow { pc: self.pc }),
+            }
+        } else {
+            Ok(self.regs.read(r))
+        }
+    }
+
+    fn write(&mut self, r: Reg, v: u32) {
+        if r.is_queue() {
+            self.sdq.push_back(v);
+        } else {
+            self.regs.write(r, v);
+        }
+    }
+
+    /// Sends completed SAQ/SDQ pairs to memory (or the FPU) immediately.
+    fn drain_stores(&mut self) {
+        while let (Some(&addr), Some(&value)) = (self.saq.front(), self.sdq.front()) {
+            self.saq.pop_front();
+            self.sdq.pop_front();
+            if pipe_isa::is_fpu_address(addr) {
+                let off = addr - pipe_isa::FPU_BASE;
+                if off == 0 {
+                    self.fpu.operand_a = value;
+                } else if let Some(op) = FpOp::from_offset(off) {
+                    let result = op.eval_bits(self.fpu.operand_a, value);
+                    let seq = self
+                        .fpu_slots
+                        .pop_front()
+                        .expect("fpu op without allocated slot");
+                    self.ldq.fill(seq, result);
+                }
+            } else {
+                self.memory.write(addr, value);
+            }
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn step(&mut self) -> Result<(), InterpError> {
+        if self.halted {
+            return Ok(());
+        }
+        let (instr, size) = self
+            .program
+            .instruction_at(self.pc)
+            .map_err(|_| InterpError::PcOutOfRange { pc: self.pc })?;
+        let mut next_pc = self.pc + size;
+
+        // A single r7 value per instruction: multiple r7 source operands
+        // read the same popped value (matching the processor).
+        let mut queue_value: Option<u32> = None;
+        let mut read_src = |this: &mut Self, r: Reg| -> Result<u32, InterpError> {
+            if r.is_queue() {
+                if let Some(v) = queue_value {
+                    return Ok(v);
+                }
+                let v = this.read(r)?;
+                queue_value = Some(v);
+                Ok(v)
+            } else {
+                Ok(this.regs.read(r))
+            }
+        };
+
+        match instr {
+            Instruction::Nop => {}
+            Instruction::Halt => self.halted = true,
+            Instruction::Xchg => self.regs.exchange(),
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                let a = read_src(self, rs1)?;
+                let b = read_src(self, rs2)?;
+                self.write(rd, op.eval(a, b));
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let a = read_src(self, rs1)?;
+                self.write(rd, op.eval(a, imm as i32 as u32));
+            }
+            Instruction::Lim { rd, imm } => self.write(rd, imm as i32 as u32),
+            Instruction::Lui { rd, imm } => {
+                let old = read_src(self, rd)?;
+                self.write(rd, (u32::from(imm) << 16) | (old & 0xFFFF));
+            }
+            Instruction::Load { base, disp } => {
+                let addr = read_src(self, base)?.wrapping_add(disp as i32 as u32);
+                let seq = self.ldq.alloc().expect("interpreter queue sized generously");
+                let value = self.memory.read(addr);
+                self.ldq.fill(seq, value);
+                self.result.loads += 1;
+            }
+            Instruction::StoreAddr { base, disp } => {
+                let addr = read_src(self, base)?.wrapping_add(disp as i32 as u32);
+                self.saq.push_back(addr);
+                self.result.stores += 1;
+                if pipe_isa::is_fpu_address(addr)
+                    && FpOp::from_offset(addr - pipe_isa::FPU_BASE).is_some()
+                {
+                    let seq = self.ldq.alloc().expect("interpreter queue sized generously");
+                    self.fpu_slots.push_back(seq);
+                    self.result.fpu_ops += 1;
+                }
+            }
+            Instruction::Lbr { br, target_parcel } => {
+                self.bregs.write(br, u32::from(target_parcel) * 2)
+            }
+            Instruction::LbrReg { br, rs1 } => {
+                let v = read_src(self, rs1)?;
+                self.bregs.write(br, v);
+            }
+            Instruction::Pbr {
+                cond,
+                br,
+                rs,
+                delay,
+            } => {
+                let v = read_src(self, rs)?;
+                if cond.eval(v) {
+                    self.result.branches_taken += 1;
+                    self.pending_branch = Some((u32::from(delay), self.bregs.read(br)));
+                } else {
+                    self.result.branches_not_taken += 1;
+                }
+            }
+        }
+
+        self.drain_stores();
+        self.result.instructions += 1;
+
+        // Delay-slot countdown: the PBR itself does not count.
+        if !instr.is_branch() {
+            if let Some((remaining, target)) = &mut self.pending_branch {
+                if *remaining == 0 {
+                    unreachable!("zero-delay branches redirect before the next instruction");
+                }
+                *remaining -= 1;
+                if *remaining == 0 {
+                    next_pc = *target;
+                    self.pending_branch = None;
+                }
+            }
+        } else if let Some((0, target)) = self.pending_branch {
+            next_pc = target;
+            self.pending_branch = None;
+        }
+
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    /// Runs until `halt` or until `max_instructions` have executed.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn run(mut self, max_instructions: u64) -> Result<InterpResult, InterpError> {
+        while !self.halted {
+            if self.result.instructions >= max_instructions {
+                return Err(InterpError::InstructionLimit {
+                    limit: max_instructions,
+                });
+            }
+            self.step()?;
+        }
+        for i in 0..8 {
+            self.result.regs[i as usize] = self.regs.read(Reg::new(i));
+        }
+        self.result.memory = self.memory;
+        Ok(self.result)
+    }
+}
+
+/// Interprets `program` to completion.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn interpret(program: &Program, max_instructions: u64) -> Result<InterpResult, InterpError> {
+    Interpreter::new(program).run(max_instructions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipe_isa::{Assembler, InstrFormat};
+
+    fn asm(src: &str) -> Program {
+        Assembler::new(InstrFormat::Fixed32).assemble(src).unwrap()
+    }
+
+    #[test]
+    fn straight_line() {
+        let r = interpret(&asm("lim r1, 6\nlim r2, 7\nadd r3, r1, r2\nhalt\n"), 100).unwrap();
+        assert_eq!(r.regs[3], 13);
+        assert_eq!(r.instructions, 4);
+    }
+
+    #[test]
+    fn loop_with_delay_slots() {
+        let src = "lim r1, 4\nlim r2, 0\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 1\naddi r2, r2, 1\nhalt\n";
+        let r = interpret(&asm(src), 1000).unwrap();
+        assert_eq!(r.regs[2], 4, "delay slot ran each iteration");
+        assert_eq!(r.branches_taken, 3);
+        assert_eq!(r.branches_not_taken, 1);
+    }
+
+    #[test]
+    fn zero_delay_branch() {
+        let src = "lim r1, 3\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n";
+        let r = interpret(&asm(src), 1000).unwrap();
+        assert_eq!(r.instructions, 2 + 3 * 2 + 1);
+    }
+
+    #[test]
+    fn memory_and_queues() {
+        let src = r#"
+            lim r1, 0x100
+            lim r2, 9
+            sta r1, 0
+            or  r7, r2, r2
+            ldw r1, 0
+            add r3, r7, r7
+            halt
+        "#;
+        let r = interpret(&asm(src), 100).unwrap();
+        assert_eq!(r.memory.read(0x100), 9);
+        assert_eq!(r.regs[3], 18);
+        assert_eq!(r.loads, 1);
+        assert_eq!(r.stores, 1);
+    }
+
+    #[test]
+    fn fpu_roundtrip() {
+        let src = r#"
+            lim r5, -4096
+            lui r2, 0x4000
+            lui r3, 0x4040
+            sta r5, 0
+            or  r7, r2, r2
+            sta r5, 4
+            or  r7, r3, r3
+            or  r4, r7, r7
+            halt
+        "#;
+        let r = interpret(&asm(src), 100).unwrap();
+        assert_eq!(r.regs[4], 6.0f32.to_bits());
+        assert_eq!(r.fpu_ops, 1);
+    }
+
+    #[test]
+    fn queue_underflow_detected() {
+        let e = interpret(&asm("or r1, r7, r7\nhalt\n"), 100).unwrap_err();
+        assert!(matches!(e, InterpError::QueueUnderflow { .. }));
+    }
+
+    #[test]
+    fn instruction_limit() {
+        let src = "lbr b0, top\ntop: pbr b0, r0, 1\nnop\nhalt\n";
+        let e = interpret(&asm(src), 50).unwrap_err();
+        assert!(matches!(e, InterpError::InstructionLimit { limit: 50 }));
+    }
+
+    #[test]
+    fn pc_out_of_range_detected() {
+        // No halt: execution runs off the end of the image.
+        let e = interpret(&asm("nop\n"), 100).unwrap_err();
+        assert!(matches!(e, InterpError::PcOutOfRange { .. }));
+    }
+}

@@ -1,0 +1,950 @@
+//! The PIPE processor: issue logic, architectural queues, and the
+//! cycle loop connecting the fetch engine and the memory system.
+//!
+//! ## Cycle structure
+//!
+//! Each call to [`Processor::step`] simulates one clock:
+//!
+//! 1. **Offer** — the fetch engine and the load/store queues offer memory
+//!    requests for this cycle's arbitration.
+//! 2. **Memory tick** — the memory system arbitrates, advances in-flight
+//!    accesses, and streams response beats.
+//! 3. **Routing** — acceptances pop the LAQ / SAQ+SDQ heads or inform the
+//!    fetch engine; beats fill the LDQ (data loads, FPU results) or the
+//!    fetch engine (instruction fetches).
+//! 4. **Fetch advance** — queue transfers and cache fills inside the
+//!    engine.
+//! 5. **Issue** — at most one instruction decodes and issues. Reads of
+//!    `r7` pop the LDQ head (stalling until filled); writes of `r7` push
+//!    the SDQ. A prepare-to-branch records its condition at issue and
+//!    resolves at the start of the next cycle, when the engine is told the
+//!    outcome so it can begin target preparation while delay slots drain.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use pipe_icache::{
+    BufferFetch, ConventionalFetch, FetchEngine, PerfectFetch, PipeFetch, TibFetch,
+};
+use pipe_isa::decode::DecodeError;
+use pipe_isa::{decode, Instruction, Program, Reg};
+use pipe_mem::{BeatSource, FpOp, MemRequest, MemorySystem, ReqClass};
+
+use crate::config::{FetchStrategy, SimConfig};
+use crate::queues::{AddressQueue, LoadQueue};
+use crate::regfile::{BranchRegFile, RegFile};
+use crate::stats::SimStats;
+use crate::trace::{StallReason, TraceEvent, TraceSink};
+
+/// An error terminating a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(String),
+    /// The fetch stream produced an undecodable instruction.
+    Decode(DecodeError),
+    /// `max_cycles` elapsed before the program halted and drained — almost
+    /// always a deadlocked program (e.g. reading `r7` with no load in
+    /// flight) or mismatched SAQ/SDQ pushes.
+    Timeout {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Decode(e) => write!(f, "instruction decode failed: {e}"),
+            SimError::Timeout { cycles } => {
+                write!(f, "simulation did not complete within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<DecodeError> for SimError {
+    fn from(e: DecodeError) -> SimError {
+        SimError::Decode(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PbrState {
+    resolve_at: u64,
+    taken: bool,
+    target: u32,
+    delay: u8,
+    issued_after: u8,
+}
+
+/// The simulated PIPE processor.
+pub struct Processor {
+    config: SimConfig,
+    mem: MemorySystem,
+    fetch: Box<dyn FetchEngine>,
+    regs: RegFile,
+    bregs: BranchRegFile,
+    laq: AddressQueue,
+    saq: AddressQueue,
+    sdq: VecDeque<u32>,
+    ldq: LoadQueue,
+    /// Accepted data loads awaiting their response beat.
+    inflight_loads: VecDeque<(u64, u64)>,
+    /// LDQ slots awaiting FPU results, in operation order.
+    fpu_result_slots: VecDeque<u64>,
+    laq_front_tag: Option<u64>,
+    store_front_tag: Option<u64>,
+    /// Program-order sequence for data-side operations: the LAQ and SAQ
+    /// drain to memory strictly in this order, so a load can never bypass
+    /// an older store (the memory-consistency rule of the decoupled
+    /// interface).
+    data_seq: u64,
+    pbr: Option<PbrState>,
+    /// Delay slots left before a taken branch's redirect, after resolution.
+    redirect_remaining: Option<u32>,
+    halted: bool,
+    cycle: u64,
+    stats: SimStats,
+    trace: Option<Box<dyn TraceSink>>,
+}
+
+impl fmt::Debug for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Processor")
+            .field("cycle", &self.cycle)
+            .field("halted", &self.halted)
+            .field("fetch", &self.fetch.name())
+            .field("instructions", &self.stats.instructions_issued)
+            .finish()
+    }
+}
+
+impl Processor {
+    /// Builds a processor for `program` under `config`, loading the
+    /// program's initial data image into memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration fails validation.
+    pub fn new(program: &Program, config: &SimConfig) -> Result<Processor, SimError> {
+        config.validate().map_err(SimError::Config)?;
+        let mut mem = MemorySystem::new(config.mem.clone());
+        mem.data_mut().extend(program.data().iter().copied());
+        let fetch: Box<dyn FetchEngine> = match config.fetch {
+            FetchStrategy::Perfect => Box::new(PerfectFetch::new(program)),
+            FetchStrategy::Conventional(cache) => {
+                Box::new(ConventionalFetch::new(program, cache))
+            }
+            FetchStrategy::ConventionalPrefetch(cache, mode) => {
+                Box::new(ConventionalFetch::with_prefetch(program, cache, mode))
+            }
+            FetchStrategy::Pipe(cfg) => Box::new(PipeFetch::new(program, cfg)),
+            FetchStrategy::Tib(cfg) => Box::new(TibFetch::new(program, cfg)),
+            FetchStrategy::Buffers(cfg) => Box::new(BufferFetch::new(program, cfg)),
+        };
+        Ok(Processor {
+            config: config.clone(),
+            mem,
+            fetch,
+            regs: RegFile::new(),
+            bregs: BranchRegFile::new(),
+            laq: AddressQueue::new(config.laq_entries),
+            saq: AddressQueue::new(config.saq_entries),
+            sdq: VecDeque::with_capacity(config.sdq_entries),
+            ldq: LoadQueue::new(config.ldq_entries),
+            inflight_loads: VecDeque::new(),
+            fpu_result_slots: VecDeque::new(),
+            laq_front_tag: None,
+            store_front_tag: None,
+            data_seq: 0,
+            pbr: None,
+            redirect_remaining: None,
+            halted: false,
+            cycle: 0,
+            stats: SimStats::default(),
+            trace: None,
+        })
+    }
+
+    /// Attaches a trace sink receiving every issue/stall/branch event. To
+    /// inspect the sink after the run, hand the processor an
+    /// `Rc<RefCell<...>>` clone (see [`crate::trace`]).
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.event(&event);
+        }
+    }
+
+    /// The current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Returns `true` once `halt` has issued and all queues and memory
+    /// activity have drained.
+    pub fn is_done(&self) -> bool {
+        self.halted
+            && self.laq.is_empty()
+            && self.saq.is_empty()
+            && self.sdq.is_empty()
+            && self.inflight_loads.is_empty()
+            && self.fpu_result_slots.is_empty()
+            && !self.fetch.has_outstanding()
+            && self.mem.is_idle()
+    }
+
+    /// Read access to the register file (for tests and examples).
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Read access to the memory system (for inspecting data results).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Statistics accumulated so far (finalized copies are returned by
+    /// [`run`](Self::run)).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current `(LAQ, LDQ, SAQ, SDQ)` occupancies plus in-flight loads and
+    /// pending FPU results — a snapshot for diagnosing stuck simulations.
+    pub fn queue_snapshot(&self) -> [usize; 6] {
+        [
+            self.laq.len(),
+            self.ldq.len(),
+            self.saq.len(),
+            self.sdq.len(),
+            self.inflight_loads.len(),
+            self.fpu_result_slots.len(),
+        ]
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] on an undecodable instruction and
+    /// [`SimError::Timeout`] if the program does not halt and drain within
+    /// `config.max_cycles`.
+    pub fn run(&mut self) -> Result<SimStats, SimError> {
+        while !self.is_done() {
+            if self.cycle >= self.config.max_cycles {
+                return Err(SimError::Timeout { cycles: self.cycle });
+            }
+            self.step()?;
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.fetch = self.fetch.stats().clone();
+        self.stats.mem = self.mem.stats().clone();
+        Ok(self.stats.clone())
+    }
+
+    /// Simulates one clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] if the fetch stream yields an invalid
+    /// encoding.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        // 1. Offer. Data requests drain in program order: the younger of
+        // the LAQ/SAQ heads waits, and a store whose data has not reached
+        // the SDQ blocks younger loads rather than letting them bypass it.
+        self.fetch.offer_requests(&mut self.mem);
+        let laq_head = self.laq.front();
+        let saq_head = self.saq.front();
+        let load_is_older = match (laq_head, saq_head) {
+            (Some(l), Some(s)) => l.seq < s.seq,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if load_is_older {
+            let l = laq_head.expect("load head exists");
+            let tag = *self
+                .laq_front_tag
+                .get_or_insert_with(|| self.mem.new_tag());
+            self.mem
+                .offer(MemRequest::load(ReqClass::DataLoad, l.value, 4, tag));
+        } else if let (Some(s), Some(&value)) = (saq_head, self.sdq.front()) {
+            let tag = *self
+                .store_front_tag
+                .get_or_insert_with(|| self.mem.new_tag());
+            self.mem.offer(MemRequest::store(s.value, value, tag));
+        }
+
+        // 2. Memory tick.
+        let out = self.mem.tick();
+
+        // 3. Routing.
+        for tag in out.accepted {
+            if self.laq_front_tag == Some(tag) {
+                let entry = self.laq.pop().expect("laq front accepted");
+                self.inflight_loads.push_back((tag, entry.tag));
+                self.laq_front_tag = None;
+            } else if self.store_front_tag == Some(tag) {
+                self.saq.pop();
+                self.sdq.pop_front();
+                self.store_front_tag = None;
+            } else {
+                self.fetch.on_accepted(tag);
+            }
+        }
+        for beat in &out.beats {
+            match beat.source {
+                BeatSource::DataLoad => {
+                    let pos = self
+                        .inflight_loads
+                        .iter()
+                        .position(|&(t, _)| t == beat.tag)
+                        .expect("data beat for unknown load");
+                    let (_, seq) = self.inflight_loads.remove(pos).expect("position valid");
+                    self.ldq
+                        .fill(seq, beat.value.expect("data beats carry values"));
+                }
+                BeatSource::FpuResult => {
+                    let seq = self
+                        .fpu_result_slots
+                        .pop_front()
+                        .expect("fpu result without a waiting slot");
+                    self.ldq
+                        .fill(seq, beat.value.expect("fpu beats carry values"));
+                }
+                BeatSource::IFetch | BeatSource::IPrefetch => self.fetch.on_beat(beat),
+            }
+        }
+
+        // 4. Fetch-internal advance.
+        self.fetch.advance();
+
+        // 5. Issue.
+        self.resolve_pbr_if_due();
+        if !self.halted {
+            self.try_issue()?;
+        }
+
+        // Sample queue occupancies.
+        self.stats.queues.laq.sample(self.laq.len());
+        self.stats.queues.ldq.sample(self.ldq.len());
+        self.stats.queues.saq.sample(self.saq.len());
+        self.stats.queues.sdq.sample(self.sdq.len());
+
+        self.cycle += 1;
+        Ok(())
+    }
+
+    fn resolve_pbr_if_due(&mut self) {
+        let Some(p) = self.pbr else { return };
+        if self.cycle < p.resolve_at {
+            return;
+        }
+        let remaining = u32::from(p.delay - p.issued_after);
+        self.fetch.resolve_branch(p.taken, remaining, p.target);
+        self.emit(TraceEvent::BranchResolved {
+            cycle: self.cycle,
+            taken: p.taken,
+            target: p.target,
+            remaining,
+        });
+        if p.taken {
+            self.stats.branches_taken += 1;
+            self.redirect_remaining = (remaining > 0).then_some(remaining);
+        } else {
+            self.stats.branches_not_taken += 1;
+        }
+        self.pbr = None;
+    }
+
+    /// Counts how many source-operand slots of `instr` read `r7`. All reads
+    /// within one instruction see the same LDQ head value, popped once.
+    fn reads_queue_reg(instr: &Instruction) -> bool {
+        instr.sources().contains(&Reg::QUEUE)
+    }
+
+    fn writes_queue_reg(instr: &Instruction) -> bool {
+        instr.destination() == Some(Reg::QUEUE)
+    }
+
+    fn try_issue(&mut self) -> Result<(), SimError> {
+        let Some((first, second)) = self.fetch.peek() else {
+            self.stats.stalls.ifetch += 1;
+            self.emit(TraceEvent::Stall {
+                cycle: self.cycle,
+                reason: StallReason::IFetch,
+            });
+            return Ok(());
+        };
+        let instr = decode(first, second)?;
+
+        // Branch gating: at most one PBR in flight, and no issue past the
+        // delay slots of an unresolved PBR (wrong-path guard).
+        let branch_gated = match &self.pbr {
+            Some(p) => p.issued_after >= p.delay || instr.is_branch(),
+            None => instr.is_branch() && self.redirect_remaining.is_some(),
+        };
+        if branch_gated {
+            self.stats.stalls.branch += 1;
+            self.emit(TraceEvent::Stall {
+                cycle: self.cycle,
+                reason: StallReason::Branch,
+            });
+            return Ok(());
+        }
+
+        // Operand readiness: an `r7` read needs the LDQ head filled.
+        let reads_q = Self::reads_queue_reg(&instr);
+        let queue_value = if reads_q {
+            match self.ldq.front_ready() {
+                Some(v) => Some(v),
+                None => {
+                    self.stats.stalls.data_wait += 1;
+                    self.emit(TraceEvent::Stall {
+                        cycle: self.cycle,
+                        reason: StallReason::DataWait,
+                    });
+                    return Ok(());
+                }
+            }
+        } else {
+            None
+        };
+
+        // Resource checks (computed before any state mutation). A
+        // same-instruction `r7` pop frees one LDQ slot.
+        let ldq_after_pop = self.ldq.len() - usize::from(reads_q);
+        let needs_ldq_slot = match &instr {
+            Instruction::Load { .. } => true,
+            Instruction::StoreAddr { base, disp } => {
+                let base_v = if base.is_queue() {
+                    queue_value.expect("checked above")
+                } else {
+                    self.regs.read(*base)
+                };
+                let addr = base_v.wrapping_add(*disp as i32 as u32);
+                Self::fpu_op(addr).is_some()
+            }
+            _ => false,
+        };
+        let queue_full = (needs_ldq_slot && ldq_after_pop >= self.config.ldq_entries)
+            || (matches!(instr, Instruction::Load { .. }) && self.laq.is_full())
+            || (matches!(instr, Instruction::StoreAddr { .. }) && self.saq.is_full())
+            || (Self::writes_queue_reg(&instr) && self.sdq.len() >= self.config.sdq_entries);
+        if queue_full {
+            self.stats.stalls.queue_full += 1;
+            self.emit(TraceEvent::Stall {
+                cycle: self.cycle,
+                reason: StallReason::QueueFull,
+            });
+            return Ok(());
+        }
+
+        // Commit: pop the LDQ head (once), execute, consume from fetch.
+        if reads_q {
+            self.ldq.pop();
+        }
+        if self.trace.is_some() {
+            self.emit(TraceEvent::Issue {
+                cycle: self.cycle,
+                addr: self.fetch.head_addr(),
+                instr,
+            });
+        }
+        let was_pbr = instr.is_branch();
+        self.execute(&instr, queue_value);
+        self.fetch.consume();
+        self.stats.instructions_issued += 1;
+        if !was_pbr {
+            if let Some(p) = &mut self.pbr {
+                p.issued_after += 1;
+            }
+        }
+        if let Some(r) = &mut self.redirect_remaining {
+            *r -= 1;
+            if *r == 0 {
+                self.redirect_remaining = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn read(&self, r: Reg, queue_value: Option<u32>) -> u32 {
+        if r.is_queue() {
+            queue_value.expect("r7 read without LDQ pop")
+        } else {
+            self.regs.read(r)
+        }
+    }
+
+    fn write_dest(&mut self, r: Reg, value: u32) {
+        if r.is_queue() {
+            self.sdq.push_back(value);
+        } else {
+            self.regs.write(r, value);
+        }
+    }
+
+    /// Maps a store address onto an FPU operation trigger, if any.
+    fn fpu_op(addr: u32) -> Option<FpOp> {
+        if pipe_isa::is_fpu_address(addr) {
+            FpOp::from_offset(addr - pipe_isa::FPU_BASE)
+        } else {
+            None
+        }
+    }
+
+    fn execute(&mut self, instr: &Instruction, queue_value: Option<u32>) {
+        match *instr {
+            Instruction::Nop => {}
+            Instruction::Halt => {
+                self.halted = true;
+                self.emit(TraceEvent::Halted { cycle: self.cycle });
+            }
+            Instruction::Xchg => self.regs.exchange(),
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                let a = self.read(rs1, queue_value);
+                let b = self.read(rs2, queue_value);
+                self.write_dest(rd, op.eval(a, b));
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let a = self.read(rs1, queue_value);
+                self.write_dest(rd, op.eval(a, imm as i32 as u32));
+            }
+            Instruction::Lim { rd, imm } => self.write_dest(rd, imm as i32 as u32),
+            Instruction::Lui { rd, imm } => {
+                let old = self.read(rd, queue_value);
+                self.write_dest(rd, (u32::from(imm) << 16) | (old & 0xFFFF));
+            }
+            Instruction::Load { base, disp } => {
+                let addr = self
+                    .read(base, queue_value)
+                    .wrapping_add(disp as i32 as u32);
+                let seq = self.ldq.alloc().expect("resource-checked");
+                self.laq.push(addr, seq, self.data_seq);
+                self.data_seq += 1;
+                self.stats.loads += 1;
+            }
+            Instruction::StoreAddr { base, disp } => {
+                let addr = self
+                    .read(base, queue_value)
+                    .wrapping_add(disp as i32 as u32);
+                self.saq.push(addr, 0, self.data_seq);
+                self.data_seq += 1;
+                self.stats.stores += 1;
+                if Self::fpu_op(addr).is_some() {
+                    let seq = self.ldq.alloc().expect("resource-checked");
+                    self.fpu_result_slots.push_back(seq);
+                    self.stats.fpu_ops += 1;
+                }
+            }
+            Instruction::Lbr { br, target_parcel } => {
+                self.bregs.write(br, u32::from(target_parcel) * 2);
+            }
+            Instruction::LbrReg { br, rs1 } => {
+                let v = self.read(rs1, queue_value);
+                self.bregs.write(br, v);
+            }
+            Instruction::Pbr {
+                cond,
+                br,
+                rs,
+                delay,
+            } => {
+                let v = self.read(rs, queue_value);
+                self.pbr = Some(PbrState {
+                    resolve_at: self.cycle + 1,
+                    taken: cond.eval(v),
+                    target: self.bregs.read(br),
+                    delay,
+                    issued_after: 0,
+                });
+            }
+        }
+    }
+}
+
+/// Builds a processor and runs `program` to completion under `config`.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from construction or execution.
+pub fn run_program(program: &Program, config: &SimConfig) -> Result<SimStats, SimError> {
+    Processor::new(program, config)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipe_icache::{CacheConfig, PipeFetchConfig};
+    use pipe_isa::{Assembler, InstrFormat};
+    use pipe_mem::MemConfig;
+
+    fn asm(src: &str) -> Program {
+        Assembler::new(InstrFormat::Fixed32)
+            .assemble(src)
+            .unwrap_or_else(|e| panic!("assembly failed: {e}"))
+    }
+
+    fn perfect_config() -> SimConfig {
+        SimConfig {
+            fetch: FetchStrategy::Perfect,
+            ..SimConfig::default()
+        }
+    }
+
+    fn run(src: &str, config: &SimConfig) -> SimStats {
+        run_program(&asm(src), config).expect("run succeeds")
+    }
+
+    #[test]
+    fn straight_line_alu() {
+        let stats = run(
+            "lim r1, 6\nlim r2, 7\nadd r3, r1, r2\nhalt\n",
+            &perfect_config(),
+        );
+        assert_eq!(stats.instructions_issued, 4);
+    }
+
+    #[test]
+    fn register_results_visible() {
+        let p = asm("lim r1, 6\nlim r2, 7\nadd r3, r1, r2\nsub r4, r1, r2\nhalt\n");
+        let mut proc = Processor::new(&p, &perfect_config()).unwrap();
+        proc.run().unwrap();
+        assert_eq!(proc.regs().read(Reg::new(3)), 13);
+        assert_eq!(proc.regs().read(Reg::new(4)), (-1i32) as u32);
+    }
+
+    #[test]
+    fn loop_iteration_count() {
+        // 10 iterations of a 2-instruction loop + 2 prologue + halt.
+        let stats = run(
+            "lim r1, 10\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n",
+            &perfect_config(),
+        );
+        assert_eq!(stats.instructions_issued, 2 + 10 * 2 + 1);
+        assert_eq!(stats.branches_taken, 9);
+        assert_eq!(stats.branches_not_taken, 1);
+    }
+
+    #[test]
+    fn delay_slots_execute() {
+        // Delay slot increments r2 even though the branch is taken.
+        let p = asm(
+            "lim r1, 2\nlim r2, 0\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 1\naddi r2, r2, 1\nhalt\n",
+        );
+        let mut proc = Processor::new(&p, &perfect_config()).unwrap();
+        proc.run().unwrap();
+        // Loop runs twice; delay slot runs on both iterations.
+        assert_eq!(proc.regs().read(Reg::new(2)), 2);
+    }
+
+    #[test]
+    fn store_and_load_roundtrip() {
+        let src = r#"
+            lim  r1, 0x100
+            lim  r2, 42
+            sta  r1, 0
+            or   r7, r2, r2   ; push 42 onto SDQ
+            ldw  r1, 0
+            or   r3, r7, r7   ; read it back
+            halt
+        "#;
+        let p = asm(src);
+        let mut proc = Processor::new(&p, &perfect_config()).unwrap();
+        proc.run().unwrap();
+        assert_eq!(proc.mem().data().read(0x100), 42);
+        assert_eq!(proc.regs().read(Reg::new(3)), 42);
+    }
+
+    #[test]
+    fn fpu_multiply_via_stores() {
+        // 2.0 * 3.0 via the memory-mapped FPU; result read from r7.
+        let src = r#"
+            lui  r1, 0xFFFF
+            ori  r1, r1, 0xF000   ; r1 = FPU_BASE
+            lui  r2, 0x4000       ; 2.0f32
+            lui  r3, 0x4040       ; 3.0f32
+            sta  r1, 0
+            or   r7, r2, r2
+            sta  r1, 4            ; multiply
+            or   r7, r3, r3
+            or   r4, r7, r7       ; wait for and read result
+            halt
+        "#;
+        let p = asm(src);
+        let mut proc = Processor::new(&p, &perfect_config()).unwrap();
+        let stats = proc.run().unwrap();
+        assert_eq!(proc.regs().read(Reg::new(4)), 6.0f32.to_bits());
+        assert_eq!(stats.fpu_ops, 1);
+        assert_eq!(stats.stores, 2);
+    }
+
+    #[test]
+    fn data_wait_stall_counted() {
+        // Slow memory: the r7 read must stall for the load.
+        let src = "lim r1, 0x100\nldw r1, 0\nor r2, r7, r7\nhalt\n";
+        let cfg = SimConfig {
+            fetch: FetchStrategy::Perfect,
+            mem: MemConfig {
+                access_cycles: 6,
+                ..MemConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let stats = run(src, &cfg);
+        assert!(stats.stalls.data_wait > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn queue_register_pops_once_per_instruction() {
+        // `add r3, r7, r7` must consume ONE LDQ entry and see the same
+        // value on both operands.
+        let src = r#"
+            lim  r1, 0x100
+            lim  r2, 21
+            sta  r1, 0
+            or   r7, r2, r2
+            ldw  r1, 0
+            add  r3, r7, r7    ; 21 + 21
+            halt
+        "#;
+        let p = asm(src);
+        let mut proc = Processor::new(&p, &perfect_config()).unwrap();
+        proc.run().unwrap();
+        assert_eq!(proc.regs().read(Reg::new(3)), 42);
+    }
+
+    #[test]
+    fn xchg_banks() {
+        let src = "lim r1, 5\nxchg\nlim r1, 9\nxchg\naddi r2, r1, 0\nhalt\n";
+        let p = asm(src);
+        let mut proc = Processor::new(&p, &perfect_config()).unwrap();
+        proc.run().unwrap();
+        assert_eq!(proc.regs().read(Reg::new(2)), 5);
+    }
+
+    #[test]
+    fn timeout_on_deadlock() {
+        // Reading r7 with no load in flight can never complete.
+        let src = "or r1, r7, r7\nhalt\n";
+        let cfg = SimConfig {
+            fetch: FetchStrategy::Perfect,
+            max_cycles: 1000,
+            ..SimConfig::default()
+        };
+        let err = run_program(&asm(src), &cfg).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
+
+    #[test]
+    fn runs_on_all_fetch_strategies() {
+        let src = "lim r1, 20\nlbr b0, top\ntop: subi r1, r1, 1\nnop\nnop\npbr.nez b0, r1, 2\nnop\nnop\nhalt\n";
+        let expected_instrs = 2 + 20 * 6 + 1;
+        for fetch in [
+            FetchStrategy::Perfect,
+            FetchStrategy::Conventional(CacheConfig::new(64, 16)),
+            FetchStrategy::Pipe(PipeFetchConfig::table2(64, 16, 16, 16)),
+            FetchStrategy::Pipe(PipeFetchConfig::table2(32, 32, 16, 32)),
+        ] {
+            let cfg = SimConfig {
+                fetch,
+                ..SimConfig::default()
+            };
+            let stats = run(src, &cfg);
+            assert_eq!(
+                stats.instructions_issued, expected_instrs,
+                "under {fetch}: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_strategies_agree_on_architectural_state() {
+        // The same program must produce identical register/memory results
+        // regardless of fetch timing.
+        let src = r#"
+            lim  r1, 0x200
+            lim  r2, 0
+            lim  r3, 8
+            lbr  b0, loop
+            loop: sta r1, 0
+            or   r7, r2, r2
+            addi r2, r2, 3
+            addi r1, r1, 4
+            subi r3, r3, 1
+            pbr.nez b0, r3, 1
+            nop
+            halt
+        "#;
+        let p = asm(src);
+        let mut results = Vec::new();
+        for fetch in [
+            FetchStrategy::Perfect,
+            FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+            FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
+        ] {
+            let cfg = SimConfig {
+                fetch,
+                mem: MemConfig {
+                    access_cycles: 3,
+                    ..MemConfig::default()
+                },
+                ..SimConfig::default()
+            };
+            let mut proc = Processor::new(&p, &cfg).unwrap();
+            proc.run().unwrap();
+            let mem_words: Vec<u32> = (0..8).map(|i| proc.mem().data().read(0x200 + i * 4)).collect();
+            results.push(mem_words);
+        }
+        assert_eq!(results[0], vec![0, 3, 6, 9, 12, 15, 18, 21]);
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn pipe_beats_conventional_on_slow_memory() {
+        // A loop body larger than the cache with 6-cycle memory: the PIPE
+        // strategy's line fetches and lookahead must win (the paper's
+        // headline claim).
+        let mut body = String::from("lim r1, 50\nlbr b0, top\ntop: subi r1, r1, 1\n");
+        for _ in 0..20 {
+            body.push_str("addi r2, r2, 1\n");
+        }
+        body.push_str("pbr.nez b0, r1, 2\nnop\nnop\nhalt\n");
+        let p = asm(&body);
+        let slow = MemConfig {
+            access_cycles: 6,
+            in_bus_bytes: 8,
+            ..MemConfig::default()
+        };
+        let conv = run_program(
+            &p,
+            &SimConfig {
+                fetch: FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+                mem: slow.clone(),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let pipe = run_program(
+            &p,
+            &SimConfig {
+                fetch: FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
+                mem: slow,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            pipe.cycles < conv.cycles,
+            "pipe {} !< conventional {}",
+            pipe.cycles,
+            conv.cycles
+        );
+    }
+
+    #[test]
+    fn lui_on_queue_register_pops_and_pushes() {
+        // `lui r7, imm` reads r7 (pops the LDQ) to preserve the low half,
+        // then writes r7 (pushes the SDQ) — both queue effects in one
+        // instruction.
+        let src = r#"
+            lim  r1, 0x200
+            lim  r2, 0x1234
+            sta  r1, 0
+            or   r7, r2, r2      ; mem[0x200] = 0x1234
+            ldw  r1, 0
+            sta  r1, 4
+            lui  r7, 0xBEEF      ; pops 0x1234, pushes 0xBEEF1234
+            halt
+        "#;
+        let p = asm(src);
+        let mut proc = Processor::new(&p, &perfect_config()).unwrap();
+        proc.run().unwrap();
+        assert_eq!(proc.mem().data().read(0x204), 0xBEEF_1234);
+    }
+
+    #[test]
+    fn all_branch_conditions() {
+        // One loop per condition, arranged so each takes exactly once.
+        for (cond, init, expect_taken) in [
+            ("pbr.eqz", 0i16, 1u64),
+            ("pbr.nez", 1, 1),
+            ("pbr.gtz", 1, 1),
+            ("pbr.ltz", -1, 1),
+            ("pbr.never", 0, 0),
+        ] {
+            let src = format!(
+                "lim r1, {init}\nlbr b0, out\n{cond} b0, r1, 0\nnop\nout: halt\n"
+            );
+            let stats = run(&src, &perfect_config());
+            assert_eq!(stats.branches_taken, expect_taken, "{cond}");
+            // Taken skips the nop; not-taken executes it.
+            let expected_instrs = 3 + u64::from(expect_taken == 0) + 1;
+            assert_eq!(stats.instructions_issued, expected_instrs, "{cond}");
+        }
+    }
+
+    #[test]
+    fn computed_branch_via_lbrr() {
+        // Jump through a register-loaded target (byte address).
+        let src = r#"
+            lim  r1, 16          ; byte address of `there` (4 instrs * 4)
+            lbrr b1, r1
+            pbr  b1, r0, 0
+            addi r2, r2, 1       ; skipped
+            there: halt
+        "#;
+        let p = asm(src);
+        let mut proc = Processor::new(&p, &perfect_config()).unwrap();
+        let stats = proc.run().unwrap();
+        assert_eq!(proc.regs().read(Reg::new(2)), 0, "wrong-path skipped");
+        assert_eq!(stats.branches_taken, 1);
+    }
+
+    #[test]
+    fn queue_occupancy_sampled() {
+        let src = "lim r1, 0x100\nldw r1, 0\nldw r1, 4\nor r2, r7, r7\nor r3, r7, r7\nhalt\n";
+        let cfg = SimConfig {
+            fetch: FetchStrategy::Perfect,
+            mem: MemConfig {
+                access_cycles: 6,
+                ..MemConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let stats = run(src, &cfg);
+        assert!(stats.queues.ldq.max >= 2, "{:?}", stats.queues);
+        assert!(stats.queues.laq.max >= 1);
+        assert!(stats.queues.ldq.average(stats.cycles) > 0.0);
+    }
+
+    #[test]
+    fn perfect_fetch_is_lower_bound() {
+        let src = "lim r1, 30\nlbr b0, top\ntop: subi r1, r1, 1\nnop\nnop\npbr.nez b0, r1, 2\nnop\nnop\nhalt\n";
+        let p = asm(src);
+        let perfect = run_program(&p, &perfect_config()).unwrap();
+        for fetch in [
+            FetchStrategy::Conventional(CacheConfig::new(64, 16)),
+            FetchStrategy::Pipe(PipeFetchConfig::table2(64, 16, 16, 16)),
+        ] {
+            let stats = run_program(
+                &p,
+                &SimConfig {
+                    fetch,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(stats.cycles >= perfect.cycles, "{fetch}");
+        }
+    }
+}

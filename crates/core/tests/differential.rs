@@ -1,0 +1,204 @@
+//! Differential testing: the timing-free interpreter and the cycle-level
+//! processor must agree on all architectural outcomes.
+
+use pipe_core::{interpret, FetchStrategy, Processor, SimConfig};
+use pipe_icache::{BufferConfig, CacheConfig, ConvPrefetch, PipeFetchConfig, TibConfig};
+use pipe_isa::{Assembler, InstrFormat, Program, Reg};
+use pipe_mem::MemConfig;
+
+fn agree(program: &Program, fetches: &[FetchStrategy], access: u32) {
+    let reference = interpret(program, 10_000_000).expect("interprets");
+    for &fetch in fetches {
+        let cfg = SimConfig {
+            fetch,
+            mem: MemConfig {
+                access_cycles: access,
+                ..MemConfig::default()
+            },
+            max_cycles: 200_000_000,
+            ..SimConfig::default()
+        };
+        let mut proc = Processor::new(program, &cfg).expect("valid");
+        let stats = proc.run().unwrap_or_else(|e| panic!("{fetch}: {e}"));
+        assert_eq!(
+            stats.instructions_issued, reference.instructions,
+            "instruction count under {fetch}"
+        );
+        assert_eq!(
+            stats.branches_taken, reference.branches_taken,
+            "taken branches under {fetch}"
+        );
+        assert_eq!(stats.loads, reference.loads, "loads under {fetch}");
+        assert_eq!(stats.stores, reference.stores, "stores under {fetch}");
+        assert_eq!(stats.fpu_ops, reference.fpu_ops, "fpu ops under {fetch}");
+        for i in 0..7u8 {
+            assert_eq!(
+                proc.regs().read(Reg::new(i)),
+                reference.regs[i as usize],
+                "r{i} under {fetch}"
+            );
+        }
+        assert_eq!(
+            *proc.mem().data(),
+            reference.memory,
+            "data memory under {fetch}"
+        );
+    }
+}
+
+fn all_engines() -> Vec<FetchStrategy> {
+    vec![
+        FetchStrategy::Perfect,
+        FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+        FetchStrategy::ConventionalPrefetch(CacheConfig::new(32, 16), ConvPrefetch::OnMissOnly),
+        FetchStrategy::ConventionalPrefetch(CacheConfig::new(32, 16), ConvPrefetch::Tagged),
+        FetchStrategy::Pipe(PipeFetchConfig::table2(32, 8, 8, 8)),
+        FetchStrategy::Pipe(PipeFetchConfig::table2(64, 32, 16, 32)),
+        FetchStrategy::Pipe(PipeFetchConfig {
+            partial_lines: true,
+            ..PipeFetchConfig::table2(32, 16, 16, 16)
+        }),
+        FetchStrategy::Tib(TibConfig::with_budget(32, 16)),
+        FetchStrategy::Buffers(BufferConfig {
+            buffers: 2,
+            cache: None,
+        }),
+        FetchStrategy::Buffers(BufferConfig {
+            buffers: 4,
+            cache: Some(CacheConfig::new(64, 16)),
+        }),
+    ]
+}
+
+#[test]
+fn differential_branchy_program() {
+    let src = r#"
+        lim  r1, 12
+        lim  r2, 0
+        lim  r3, 0
+        lbr  b0, even
+        lbr  b1, done
+    even:
+        addi r2, r2, 5
+        subi r1, r1, 1
+        pbr.eqz b1, r1, 2
+        addi r3, r3, 1
+        nop
+        pbr  b0, r0, 1
+        nop
+        halt
+    done:
+        halt
+    "#;
+    let p = Assembler::new(InstrFormat::Fixed32).assemble(src).unwrap();
+    agree(&p, &all_engines(), 3);
+}
+
+#[test]
+fn differential_store_load_fpu_chain() {
+    let src = r#"
+        lim  r5, -4096
+        lim  r1, 0x400
+        lui  r2, 0x4080          ; 4.0
+        lui  r3, 0x3F00          ; 0.5
+        sta  r1, 0
+        or   r7, r2, r2          ; mem[0x400] = 4.0
+        ldw  r1, 0
+        sta  r5, 0
+        or   r7, r7, r7          ; FPU A = mem[0x400]
+        sta  r5, 4
+        or   r7, r3, r3          ; * 0.5
+        sta  r1, 4
+        or   r7, r7, r7          ; mem[0x404] = product (2.0)
+        halt
+    "#;
+    let p = Assembler::new(InstrFormat::Fixed32).assemble(src).unwrap();
+    let reference = interpret(&p, 1000).unwrap();
+    assert_eq!(reference.memory.read(0x404), 2.0f32.to_bits());
+    agree(&p, &all_engines(), 6);
+}
+
+#[test]
+fn differential_mixed_format() {
+    let src = "lim r1, 6\nlbr b0, top\ntop: add r2, r2, r1\nsubi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n";
+    let p = Assembler::new(InstrFormat::Mixed).assemble(src).unwrap();
+    agree(&p, &all_engines(), 2);
+}
+
+#[test]
+fn differential_single_livermore_kernels() {
+    for index in [1usize, 5, 8, 11] {
+        let p = pipe_workloads::livermore::single_kernel_program(index, 12, InstrFormat::Fixed32)
+            .unwrap();
+        agree(&p, &all_engines(), 3);
+    }
+}
+
+#[test]
+fn differential_deep_delay_slots_with_tiny_iq() {
+    // 7 delay slots = 28 bytes of instructions, far more than an 8-byte
+    // IQ can hold: the PIPE engine's early target preparation can never
+    // start ("all the instructions guaranteed to execute" never fit in
+    // the IQ at once), exercising the trigger-time fallback.
+    let src = r#"
+        lim  r1, 4
+        lim  r2, 0
+        lbr  b0, top
+    top:
+        subi r1, r1, 1
+        pbr.nez b0, r1, 7
+        addi r2, r2, 1
+        addi r2, r2, 1
+        addi r2, r2, 1
+        addi r2, r2, 1
+        addi r2, r2, 1
+        addi r2, r2, 1
+        addi r2, r2, 1
+        halt
+    "#;
+    let p = Assembler::new(InstrFormat::Fixed32).assemble(src).unwrap();
+    let reference = interpret(&p, 100_000).unwrap();
+    assert_eq!(reference.regs[2], 4 * 7);
+    let engines = vec![
+        FetchStrategy::Pipe(PipeFetchConfig::table2(16, 8, 8, 8)),
+        FetchStrategy::Pipe(PipeFetchConfig::table2(64, 8, 8, 8)),
+        FetchStrategy::Tib(TibConfig {
+            entries: 2,
+            entry_bytes: 8,
+            fetch_queue_bytes: 8,
+        }),
+        FetchStrategy::Buffers(BufferConfig {
+            buffers: 1,
+            cache: None,
+        }),
+    ];
+    for access in [1, 6] {
+        agree(&p, &engines, access);
+    }
+}
+
+#[test]
+fn differential_full_livermore_benchmark() {
+    let suite = pipe_workloads::livermore_benchmark();
+    let reference = interpret(suite.program(), 1_000_000).expect("interprets");
+    assert_eq!(reference.instructions, suite.expected_instructions());
+
+    // One representative timed configuration (the full engine matrix is
+    // covered by the smaller differential programs above).
+    let cfg = SimConfig {
+        fetch: FetchStrategy::Pipe(PipeFetchConfig::table2(64, 16, 16, 16)),
+        mem: MemConfig {
+            access_cycles: 6,
+            in_bus_bytes: 8,
+            ..MemConfig::default()
+        },
+        max_cycles: 200_000_000,
+        ..SimConfig::default()
+    };
+    let mut proc = Processor::new(suite.program(), &cfg).unwrap();
+    let stats = proc.run().unwrap();
+    assert_eq!(stats.instructions_issued, reference.instructions);
+    assert_eq!(stats.branches_taken, reference.branches_taken);
+    assert_eq!(stats.fpu_ops, reference.fpu_ops);
+    assert_eq!(*proc.mem().data(), reference.memory);
+}

@@ -1,0 +1,230 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--all] [--table1] [--table2] [--fig4a ... --fig6b]
+//!       [--ablation-access] [--ablation-priority] [--ablation-prefetch]
+//!       [--ablation-format] [--check] [--csv-dir DIR]
+//! ```
+//!
+//! With no arguments, runs everything except the ablations. `--check`
+//! verifies the paper's qualitative expectations and exits nonzero on a
+//! violation. `--csv-dir` additionally writes one CSV per figure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pipe_experiments::figures::{ablation, figure, Figure, ALL_ABLATIONS, ALL_FIGURES};
+use pipe_experiments::report::{check_expectations, render_csv, render_text};
+use pipe_experiments::tables::{render_table1, render_table2};
+
+struct Options {
+    tables: Vec<&'static str>,
+    figures: Vec<&'static str>,
+    ablations: Vec<&'static str>,
+    profile: bool,
+    studies: bool,
+    check: bool,
+    csv_dir: Option<PathBuf>,
+    svg_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        tables: Vec::new(),
+        figures: Vec::new(),
+        ablations: Vec::new(),
+        profile: false,
+        studies: false,
+        check: false,
+        csv_dir: None,
+        svg_dir: None,
+    };
+    let mut any = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => {
+                opts.tables = vec!["1", "2"];
+                opts.figures = ALL_FIGURES.to_vec();
+                opts.ablations = ALL_ABLATIONS.to_vec();
+                opts.profile = true;
+                opts.studies = true;
+                any = true;
+            }
+            "--profile" => {
+                opts.profile = true;
+                any = true;
+            }
+            "--studies" => {
+                opts.studies = true;
+                any = true;
+            }
+            "--table1" => {
+                opts.tables.push("1");
+                any = true;
+            }
+            "--table2" => {
+                opts.tables.push("2");
+                any = true;
+            }
+            "--check" => opts.check = true,
+            "--csv-dir" => {
+                let dir = args.next().ok_or("--csv-dir needs a directory")?;
+                opts.csv_dir = Some(PathBuf::from(dir));
+            }
+            "--svg-dir" => {
+                let dir = args.next().ok_or("--svg-dir needs a directory")?;
+                opts.svg_dir = Some(PathBuf::from(dir));
+            }
+            other => {
+                if let Some(id) = other.strip_prefix("--fig") {
+                    let id = ALL_FIGURES
+                        .iter()
+                        .find(|&&f| f == id)
+                        .ok_or_else(|| format!("unknown figure {other}"))?;
+                    opts.figures.push(id);
+                    any = true;
+                } else if let Some(id) = other.strip_prefix("--ablation-") {
+                    let id = ALL_ABLATIONS
+                        .iter()
+                        .find(|&&a| a == id)
+                        .ok_or_else(|| format!("unknown ablation {other}"))?;
+                    opts.ablations.push(id);
+                    any = true;
+                } else {
+                    return Err(format!("unknown argument {other}"));
+                }
+            }
+        }
+    }
+    if !any {
+        opts.tables = vec!["1", "2"];
+        opts.figures = ALL_FIGURES.to_vec();
+    }
+    Ok(opts)
+}
+
+fn emit(fig: &Figure, opts: &Options, violations: &mut Vec<String>) {
+    println!("{}", render_text(fig));
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{}.csv", fig.id));
+        std::fs::write(&path, render_csv(fig)).expect("write csv");
+        println!("  [csv written to {}]", path.display());
+    }
+    if let Some(dir) = &opts.svg_dir {
+        std::fs::create_dir_all(dir).expect("create svg dir");
+        let path = dir.join(format!("{}.svg", fig.id));
+        std::fs::write(&path, pipe_experiments::render_figure_svg(fig)).expect("write svg");
+        println!("  [svg written to {}]", path.display());
+    }
+    if opts.check {
+        let v = check_expectations(fig);
+        if v.is_empty() {
+            println!("  [check] all paper expectations hold");
+        }
+        for msg in &v {
+            println!("  [check] VIOLATION: {msg}");
+        }
+        violations.extend(v);
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut violations = Vec::new();
+
+    for t in &opts.tables {
+        match *t {
+            "1" => println!("{}", render_table1()),
+            "2" => println!("{}", render_table2()),
+            _ => unreachable!(),
+        }
+    }
+
+    for id in &opts.figures {
+        let fig = figure(id);
+        emit(&fig, &opts, &mut violations);
+    }
+
+    for id in &opts.ablations {
+        for fig in ablation(id) {
+            emit(&fig, &opts, &mut violations);
+        }
+    }
+
+    if opts.profile {
+        use pipe_experiments::profile::{per_loop_profile, render_profile};
+        use pipe_experiments::StrategyKind;
+        let suite = pipe_workloads::livermore_benchmark();
+        let mem = pipe_mem::MemConfig {
+            access_cycles: 6,
+            in_bus_bytes: 8,
+            ..pipe_mem::MemConfig::default()
+        };
+        for kind in [StrategyKind::Pipe16x16, StrategyKind::Conventional] {
+            let fetch = kind
+                .fetch_for(128, pipe_icache::PrefetchPolicy::TruePrefetch)
+                .expect("valid");
+            let profile = per_loop_profile(&suite, fetch, &mem);
+            println!("{}", render_profile(&profile));
+        }
+    }
+
+    if opts.studies {
+        use pipe_experiments::studies::{
+            partial_line_study, queue_size_study, render_partial_line_study, render_queue_study,
+        };
+        let suite = pipe_workloads::livermore_benchmark();
+        let mem = pipe_mem::MemConfig {
+            access_cycles: 6,
+            in_bus_bytes: 8,
+            ..pipe_mem::MemConfig::default()
+        };
+        let sizes = [8u32, 16, 32];
+        let cells = queue_size_study(&suite, 64, 16, &mem, &sizes);
+        println!("{}", render_queue_study(&cells, &sizes));
+        let narrow = pipe_mem::MemConfig {
+            in_bus_bytes: 4,
+            ..mem
+        };
+        let rows = partial_line_study(&suite, &narrow, &[16, 32, 64, 128, 256, 512]);
+        println!("{}", render_partial_line_study(&rows));
+        use pipe_experiments::studies::{hill_prefetch_study, render_hill_study};
+        let rows = hill_prefetch_study(&suite, &mem, &[16, 32, 64, 128, 256, 512]);
+        println!("{}", render_hill_study(&rows));
+        use pipe_experiments::studies::{buffer_study, render_buffer_study};
+        let pipelined = pipe_mem::MemConfig {
+            pipelined: true,
+            access_cycles: 4,
+            ..mem
+        };
+        let rows = buffer_study(&suite, &pipelined, &[1, 2, 4, 8], None);
+        println!("{}", render_buffer_study(&rows));
+        use pipe_experiments::studies::{access_sweep_study, render_access_study};
+        let rows = access_sweep_study(&suite, 32, 8, &[1, 2, 3, 4, 5, 6, 8]);
+        println!("{}", render_access_study(&rows, 32));
+        use pipe_experiments::studies::{external_cache_study, render_ext_cache_study};
+        let rows = external_cache_study(
+            &suite,
+            &mem,
+            20,
+            &[4096, 16384, 65536, 262144],
+        );
+        println!("{}", render_ext_cache_study(&rows, 20));
+    }
+
+    if opts.check && !violations.is_empty() {
+        eprintln!("{} expectation violation(s)", violations.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,253 @@
+//! Figure definitions: the paper's six figure panels and the ablations.
+
+use pipe_icache::PrefetchPolicy;
+use pipe_isa::InstrFormat;
+use pipe_mem::{MemConfig, PriorityPolicy};
+use pipe_workloads::LivermoreSuite;
+
+use crate::matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
+use crate::runner::{run_point, ExperimentPoint};
+
+/// One curve of a figure: a strategy swept over cache sizes.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label ("conventional", "8-8", ...).
+    pub label: String,
+    /// The strategy.
+    pub kind: StrategyKind,
+    /// Measured points, ascending cache size.
+    pub points: Vec<ExperimentPoint>,
+}
+
+/// A reproduced figure panel.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier ("4a", "6b", "ablation-priority", ...).
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// The memory configuration the panel was measured under.
+    pub mem: MemConfig,
+    /// One series per strategy.
+    pub series: Vec<Series>,
+}
+
+/// The paper's figure panels.
+pub const ALL_FIGURES: [&str; 6] = ["4a", "4b", "5a", "5b", "6a", "6b"];
+
+/// The ablation identifiers supported by [`ablation`].
+pub const ALL_ABLATIONS: [&str; 5] = ["access", "priority", "prefetch", "format", "tib"];
+
+fn mem_for(access: u32, bus: u32, pipelined: bool) -> MemConfig {
+    MemConfig {
+        access_cycles: access,
+        pipelined,
+        in_bus_bytes: bus,
+        ..MemConfig::default()
+    }
+}
+
+/// The memory configuration of a paper figure panel.
+///
+/// # Panics
+///
+/// Panics on an unknown id; use [`ALL_FIGURES`].
+pub fn figure_mem(id: &str) -> (MemConfig, &'static str) {
+    match id {
+        "4a" => (
+            mem_for(1, 4, false),
+            "total execution time, 1-cycle memory, non-pipelined, 4-byte bus",
+        ),
+        "4b" => (
+            mem_for(1, 8, false),
+            "total execution time, 1-cycle memory, non-pipelined, 8-byte bus",
+        ),
+        "5a" => (
+            mem_for(6, 4, false),
+            "total execution time, 6-cycle memory, non-pipelined, 4-byte bus",
+        ),
+        "5b" => (
+            mem_for(6, 8, false),
+            "total execution time, 6-cycle memory, non-pipelined, 8-byte bus",
+        ),
+        "6a" => (
+            mem_for(6, 8, false),
+            "total execution time, 6-cycle memory, 8-byte bus, non-pipelined (same data as 5b)",
+        ),
+        "6b" => (
+            mem_for(6, 8, true),
+            "total execution time, 6-cycle memory, 8-byte bus, pipelined",
+        ),
+        other => panic!("unknown figure id {other:?}"),
+    }
+}
+
+/// Sweeps all five strategies over the cache sizes under `mem`.
+pub fn sweep(
+    suite: &LivermoreSuite,
+    mem: &MemConfig,
+    policy: PrefetchPolicy,
+    strategies: &[StrategyKind],
+) -> Vec<Series> {
+    strategies
+        .iter()
+        .map(|&kind| {
+            let points = sweep_sizes()
+                .iter()
+                .filter_map(|&size| {
+                    kind.fetch_for(size, policy)
+                        .map(|fetch| run_point(suite.program(), fetch, mem, size))
+                })
+                .collect();
+            Series {
+                label: kind.label().to_string(),
+                kind,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Reproduces one of the paper's figure panels.
+///
+/// # Panics
+///
+/// Panics on an unknown id; valid ids are listed in [`ALL_FIGURES`].
+pub fn figure(id: &str) -> Figure {
+    let suite = pipe_workloads::livermore_benchmark();
+    let (mem, title) = figure_mem(id);
+    let series = sweep(&suite, &mem, PrefetchPolicy::TruePrefetch, &ALL_STRATEGIES);
+    Figure {
+        id: format!("fig{id}"),
+        title: format!("Figure {id}: {title}"),
+        mem,
+        series,
+    }
+}
+
+/// Runs one of the ablation studies (see [`ALL_ABLATIONS`]):
+///
+/// * `"access"` — memory access times 2 and 3 (the paper reports these
+///   "showed similar results" to access time 6); returns one panel per
+///   access time at an 8-byte bus.
+/// * `"priority"` — instruction-first vs data-first arbitration
+///   (paper §5's selectable priority) at access 6, bus 8.
+/// * `"prefetch"` — true prefetch vs the chip's guaranteed-execution-only
+///   policy (paper §6, second paragraph) at access 6, bus 8.
+/// * `"format"` — fixed 32-bit vs the chip's mixed 16/32-bit instruction
+///   format (paper parameter 1) at access 6, bus 8.
+/// * `"tib"` — a cache-less Target Instruction Buffer (paper §2.1) swept
+///   over total hardware budgets, against the conventional cache and PIPE
+///   16-16 at the same budgets; verifies §2.1's claims that a small TIB
+///   can beat a small cache while generating far more off-chip traffic.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn ablation(id: &str) -> Vec<Figure> {
+    let suite = pipe_workloads::livermore_benchmark();
+    match id {
+        "access" => [2u32, 3]
+            .iter()
+            .map(|&access| {
+                let mem = mem_for(access, 8, false);
+                Figure {
+                    id: format!("ablation-access{access}"),
+                    title: format!(
+                        "ablation: {access}-cycle memory, non-pipelined, 8-byte bus"
+                    ),
+                    series: sweep(&suite, &mem, PrefetchPolicy::TruePrefetch, &ALL_STRATEGIES),
+                    mem,
+                }
+            })
+            .collect(),
+        "priority" => [PriorityPolicy::InstructionFirst, PriorityPolicy::DataFirst]
+            .iter()
+            .map(|&priority| {
+                let mem = MemConfig {
+                    priority,
+                    ..mem_for(6, 8, false)
+                };
+                Figure {
+                    id: format!("ablation-priority-{priority}"),
+                    title: format!("ablation: {priority} arbitration, 6-cycle memory, 8-byte bus"),
+                    series: sweep(&suite, &mem, PrefetchPolicy::TruePrefetch, &ALL_STRATEGIES),
+                    mem,
+                }
+            })
+            .collect(),
+        "prefetch" => [
+            (PrefetchPolicy::TruePrefetch, "true-prefetch"),
+            (PrefetchPolicy::GuaranteedOnly, "guaranteed-only"),
+        ]
+        .iter()
+        .map(|&(policy, name)| {
+            let mem = mem_for(6, 8, false);
+            let pipes: Vec<StrategyKind> = ALL_STRATEGIES
+                .into_iter()
+                .filter(|s| s.is_pipe())
+                .collect();
+            Figure {
+                id: format!("ablation-prefetch-{name}"),
+                title: format!("ablation: {name} off-chip policy, 6-cycle memory, 8-byte bus"),
+                series: sweep(&suite, &mem, policy, &pipes),
+                mem,
+            }
+        })
+        .collect(),
+        "tib" => {
+            let mem = mem_for(6, 8, false);
+            vec![Figure {
+                id: "ablation-tib".into(),
+                title: "ablation: target instruction buffer vs cache strategies, 6-cycle memory, 8-byte bus".into(),
+                series: sweep(
+                    &suite,
+                    &mem,
+                    PrefetchPolicy::TruePrefetch,
+                    &[
+                        StrategyKind::Conventional,
+                        StrategyKind::Tib16,
+                        StrategyKind::Pipe16x16,
+                    ],
+                ),
+                mem,
+            }]
+        }
+        "format" => [InstrFormat::Fixed32, InstrFormat::Mixed]
+            .iter()
+            .map(|&format| {
+                let fsuite = LivermoreSuite::build(format).expect("suite builds");
+                let mem = mem_for(6, 8, false);
+                Figure {
+                    id: format!("ablation-format-{format}").replace('/', "-"),
+                    title: format!("ablation: {format} instruction format, 6-cycle memory, 8-byte bus"),
+                    series: sweep(&fsuite, &mem, PrefetchPolicy::TruePrefetch, &ALL_STRATEGIES),
+                    mem,
+                }
+            })
+            .collect(),
+        other => panic!("unknown ablation id {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_mem_parameters() {
+        let (m, _) = figure_mem("4a");
+        assert_eq!((m.access_cycles, m.in_bus_bytes, m.pipelined), (1, 4, false));
+        let (m, _) = figure_mem("6b");
+        assert_eq!((m.access_cycles, m.in_bus_bytes, m.pipelined), (6, 8, true));
+        let (a, _) = figure_mem("5b");
+        let (b, _) = figure_mem("6a");
+        assert_eq!(a, b, "6a re-plots 5b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure id")]
+    fn unknown_figure_panics() {
+        let _ = figure_mem("9z");
+    }
+}

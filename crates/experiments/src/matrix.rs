@@ -1,0 +1,159 @@
+//! The configuration matrix: Table II strategies and the cache-size sweep.
+
+use pipe_core::FetchStrategy;
+use pipe_icache::{CacheConfig, PipeFetchConfig, PrefetchPolicy, TibConfig};
+
+/// Cache sizes swept in the paper's figures (bytes).
+pub const SWEEP_SIZES: [u32; 6] = [16, 32, 64, 128, 256, 512];
+
+/// The cache sizes swept by every figure.
+pub fn sweep_sizes() -> &'static [u32] {
+    &SWEEP_SIZES
+}
+
+/// The five fetch strategies compared in the paper's figures: the
+/// conventional always-prefetch cache and the four Table II PIPE
+/// configurations (`line`-`IQ`/`IQB` sizes in bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Hill's always-prefetch conventional cache (16-byte lines, 4-byte
+    /// sub-blocks — the sub-block *is* the per-instruction fetch unit).
+    Conventional,
+    /// PIPE, 8-byte lines, 8-byte IQ, 8-byte IQB.
+    Pipe8x8,
+    /// PIPE, 16-byte lines, 16-byte IQ, 16-byte IQB.
+    Pipe16x16,
+    /// PIPE, 32-byte lines, 16-byte IQ, 32-byte IQB.
+    Pipe16x32,
+    /// PIPE, 32-byte lines, 32-byte IQ, 32-byte IQB.
+    Pipe32x32,
+    /// A cache-less Target Instruction Buffer with 16-byte entries, sized
+    /// to the same total hardware budget as the swept cache (paper §2.1
+    /// extension; not part of the paper's five figure curves).
+    Tib16,
+}
+
+/// All strategies, in the paper's presentation order.
+pub const ALL_STRATEGIES: [StrategyKind; 5] = [
+    StrategyKind::Conventional,
+    StrategyKind::Pipe8x8,
+    StrategyKind::Pipe16x16,
+    StrategyKind::Pipe16x32,
+    StrategyKind::Pipe32x32,
+];
+
+impl StrategyKind {
+    /// The label used in the paper ("8-8", "16-16", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Conventional => "conventional",
+            StrategyKind::Pipe8x8 => "8-8",
+            StrategyKind::Pipe16x16 => "16-16",
+            StrategyKind::Pipe16x32 => "16-32",
+            StrategyKind::Pipe32x32 => "32-32",
+            StrategyKind::Tib16 => "tib-16",
+        }
+    }
+
+    /// Cache line (or TIB entry) size in bytes.
+    pub fn line_bytes(self) -> u32 {
+        match self {
+            StrategyKind::Conventional | StrategyKind::Tib16 => 16,
+            StrategyKind::Pipe8x8 => 8,
+            StrategyKind::Pipe16x16 => 16,
+            StrategyKind::Pipe16x32 | StrategyKind::Pipe32x32 => 32,
+        }
+    }
+
+    /// IQ/IQB sizes in bytes (PIPE strategies only).
+    pub fn queue_bytes(self) -> Option<(u32, u32)> {
+        match self {
+            StrategyKind::Conventional | StrategyKind::Tib16 => None,
+            StrategyKind::Pipe8x8 => Some((8, 8)),
+            StrategyKind::Pipe16x16 => Some((16, 16)),
+            StrategyKind::Pipe16x32 => Some((16, 32)),
+            StrategyKind::Pipe32x32 => Some((32, 32)),
+        }
+    }
+
+    /// Builds the fetch strategy for a given cache size, or `None` when
+    /// the cache is smaller than the strategy's line size (those points
+    /// are skipped in the sweeps).
+    pub fn fetch_for(self, cache_bytes: u32, policy: PrefetchPolicy) -> Option<FetchStrategy> {
+        if cache_bytes < self.line_bytes() {
+            return None;
+        }
+        Some(match self {
+            StrategyKind::Conventional => {
+                FetchStrategy::Conventional(CacheConfig::new(cache_bytes, self.line_bytes()))
+            }
+            StrategyKind::Tib16 => {
+                FetchStrategy::Tib(TibConfig::with_budget(cache_bytes, self.line_bytes()))
+            }
+            _ => {
+                let (iq, iqb) = self.queue_bytes().expect("pipe strategy");
+                let mut cfg =
+                    PipeFetchConfig::table2(cache_bytes, self.line_bytes(), iq, iqb);
+                cfg.policy = policy;
+                FetchStrategy::Pipe(cfg)
+            }
+        })
+    }
+
+    /// Returns `true` for the PIPE strategies.
+    pub fn is_pipe(self) -> bool {
+        matches!(
+            self,
+            StrategyKind::Pipe8x8
+                | StrategyKind::Pipe16x16
+                | StrategyKind::Pipe16x32
+                | StrategyKind::Pipe32x32
+        )
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table2() {
+        assert_eq!(StrategyKind::Pipe8x8.label(), "8-8");
+        assert_eq!(StrategyKind::Pipe16x32.label(), "16-32");
+        assert_eq!(StrategyKind::Pipe16x32.line_bytes(), 32);
+        assert_eq!(StrategyKind::Pipe16x32.queue_bytes(), Some((16, 32)));
+    }
+
+    #[test]
+    fn small_caches_skipped_for_wide_lines() {
+        assert!(StrategyKind::Pipe32x32
+            .fetch_for(16, PrefetchPolicy::TruePrefetch)
+            .is_none());
+        assert!(StrategyKind::Pipe32x32
+            .fetch_for(32, PrefetchPolicy::TruePrefetch)
+            .is_some());
+        assert!(StrategyKind::Pipe8x8
+            .fetch_for(16, PrefetchPolicy::TruePrefetch)
+            .is_some());
+    }
+
+    #[test]
+    fn conventional_skips_below_line() {
+        // 16-byte lines: the 16-byte point is the smallest valid one.
+        assert!(StrategyKind::Conventional
+            .fetch_for(16, PrefetchPolicy::TruePrefetch)
+            .is_some());
+    }
+
+    #[test]
+    fn all_strategies_cover_paper() {
+        assert_eq!(ALL_STRATEGIES.len(), 5);
+        assert_eq!(sweep_sizes(), &[16, 32, 64, 128, 256, 512]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Running a single experiment point.
+
+use pipe_core::{run_program, FetchStrategy, SimConfig, SimStats};
+use pipe_isa::Program;
+use pipe_mem::MemConfig;
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// Cache size in bytes.
+    pub cache_bytes: u32,
+    /// Total cycles for the benchmark — the paper's metric.
+    pub cycles: u64,
+    /// Full statistics, for deeper analysis.
+    pub stats: SimStats,
+}
+
+/// Runs `program` under (`fetch`, `mem`) and returns the measured point.
+///
+/// # Panics
+///
+/// Panics if the simulation errors — experiment configurations are
+/// validated up front, so an error indicates a simulator bug and should
+/// fail loudly rather than silently skew a sweep.
+pub fn run_point(
+    program: &Program,
+    fetch: FetchStrategy,
+    mem: &MemConfig,
+    cache_bytes: u32,
+) -> ExperimentPoint {
+    let cfg = SimConfig {
+        fetch,
+        mem: mem.clone(),
+        max_cycles: 2_000_000_000,
+        ..SimConfig::default()
+    };
+    let stats = run_program(program, &cfg)
+        .unwrap_or_else(|e| panic!("experiment point failed ({fetch}, {cache_bytes}B): {e}"));
+    ExperimentPoint {
+        cache_bytes,
+        cycles: stats.cycles,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipe_icache::CacheConfig;
+    use pipe_isa::InstrFormat;
+    use pipe_workloads::synthetic::tight_loop;
+
+    #[test]
+    fn run_point_measures_cycles() {
+        let p = tight_loop(4, 20, InstrFormat::Fixed32);
+        let point = run_point(
+            &p,
+            FetchStrategy::Conventional(CacheConfig::new(64, 16)),
+            &MemConfig::default(),
+            64,
+        );
+        assert!(point.cycles > 0);
+        assert_eq!(point.cache_bytes, 64);
+        assert_eq!(point.cycles, point.stats.cycles);
+    }
+}

@@ -1,0 +1,140 @@
+//! Table I and Table II reproductions.
+
+use pipe_workloads::{livermore_benchmark, TABLE1_INNER_LOOP_BYTES};
+
+use crate::matrix::ALL_STRATEGIES;
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// 1-based loop number.
+    pub loop_index: usize,
+    /// Kernel name.
+    pub name: &'static str,
+    /// Inner-loop size the paper reports (bytes).
+    pub paper_bytes: u32,
+    /// Inner-loop size of our generated code (bytes).
+    pub measured_bytes: u32,
+    /// Calibrated trip count.
+    pub trips: u32,
+}
+
+/// Regenerates Table I (inner-loop sizes) from the built benchmark and
+/// pairs each row with the paper's value.
+pub fn table1() -> Vec<Table1Row> {
+    let suite = livermore_benchmark();
+    suite
+        .loops()
+        .iter()
+        .map(|info| Table1Row {
+            loop_index: info.index,
+            name: info.name,
+            paper_bytes: TABLE1_INNER_LOOP_BYTES[info.index - 1],
+            measured_bytes: info.inner_loop_bytes,
+            trips: info.trips,
+        })
+        .collect()
+}
+
+/// Renders Table I as text, in the paper's layout, extended with each
+/// kernel's per-iteration memory-request rate (the property the paper
+/// chose the Livermore loops for: "a large number of data requests per
+/// inner loop").
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "Table I. Inner loop sizes (bytes)\nloop  kernel                         paper  measured  trips  mem-reqs/iter\n",
+    );
+    for row in table1() {
+        let mix = pipe_workloads::livermore::kernel(row.loop_index).mix();
+        out.push_str(&format!(
+            "{:>4}  {:<29} {:>6}  {:>8}  {:>5}  {:>13}\n",
+            row.loop_index,
+            row.name,
+            row.paper_bytes,
+            row.measured_bytes,
+            row.trips,
+            mix.memory_requests()
+        ));
+    }
+    out
+}
+
+/// One row of the Table II reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Configuration label ("8-8", ...).
+    pub configuration: &'static str,
+    /// Cache line size (bytes).
+    pub line_bytes: u32,
+    /// IQ size (bytes).
+    pub iq_bytes: u32,
+    /// IQB size (bytes).
+    pub iqb_bytes: u32,
+}
+
+/// Regenerates Table II (the simulated IQ and IQB configurations).
+pub fn table2() -> Vec<Table2Row> {
+    ALL_STRATEGIES
+        .into_iter()
+        .filter(|s| s.is_pipe())
+        .map(|s| {
+            let (iq, iqb) = s.queue_bytes().expect("pipe strategy");
+            Table2Row {
+                configuration: s.label(),
+                line_bytes: s.line_bytes(),
+                iq_bytes: iq,
+                iqb_bytes: iqb,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table II as text, in the paper's layout.
+pub fn render_table2() -> String {
+    let mut out = String::from(
+        "Table II. Simulated IQ and IQB configurations\nconfiguration  line size  IQ size  IQB size\n",
+    );
+    for row in table2() {
+        out.push_str(&format!(
+            "{:<13}  {:>8}B  {:>6}B  {:>7}B\n",
+            row.configuration, row.line_bytes, row.iq_bytes, row.iqb_bytes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        for row in table1() {
+            assert_eq!(row.paper_bytes, row.measured_bytes, "loop {}", row.loop_index);
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = table2();
+        assert_eq!(rows.len(), 4);
+        let expect = [
+            ("8-8", 8, 8, 8),
+            ("16-16", 16, 16, 16),
+            ("16-32", 32, 16, 32),
+            ("32-32", 32, 32, 32),
+        ];
+        for (row, &(cfg, line, iq, iqb)) in rows.iter().zip(&expect) {
+            assert_eq!(row.configuration, cfg);
+            assert_eq!(row.line_bytes, line);
+            assert_eq!(row.iq_bytes, iq);
+            assert_eq!(row.iqb_bytes, iqb);
+        }
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        assert!(render_table1().contains("hydro"));
+        assert!(render_table2().contains("16-32"));
+    }
+}

@@ -1,0 +1,360 @@
+//! The direct-mapped, sub-blocked on-chip instruction cache.
+//!
+//! Following Hill's model (paper §4.1), a cache line is composed of
+//! sub-blocks, each with its own valid bit, so single-instruction fetches
+//! and streamed line fills can validate a line piecemeal. The cache stores
+//! *metadata only* — instruction bytes are always read from the program
+//! image by the fetch engines.
+
+use std::fmt;
+
+/// Geometry of an [`InstructionCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (the paper sweeps 16–512).
+    pub size_bytes: u32,
+    /// Line (tag granularity) size in bytes.
+    pub line_bytes: u32,
+    /// Sub-block (valid-bit granularity) size in bytes; 4 in the paper's
+    /// model (one fixed-format instruction).
+    pub subblock_bytes: u32,
+}
+
+impl CacheConfig {
+    /// A convenience constructor with 4-byte sub-blocks.
+    pub fn new(size_bytes: u32, line_bytes: u32) -> CacheConfig {
+        CacheConfig {
+            size_bytes,
+            line_bytes,
+            subblock_bytes: 4,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any field is zero or not a power of two, if the
+    /// line does not divide the size, or if the sub-block does not divide
+    /// the line.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("size_bytes", self.size_bytes),
+            ("line_bytes", self.line_bytes),
+            ("subblock_bytes", self.subblock_bytes),
+        ] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(format!("{name} must be a nonzero power of two, got {v}"));
+            }
+        }
+        if self.size_bytes < self.line_bytes {
+            return Err(format!(
+                "cache size {} smaller than line size {}",
+                self.size_bytes, self.line_bytes
+            ));
+        }
+        if self.line_bytes < self.subblock_bytes {
+            return Err(format!(
+                "line size {} smaller than sub-block size {}",
+                self.line_bytes, self.subblock_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Sub-blocks per line.
+    pub fn subblocks_per_line(&self) -> u32 {
+        self.line_bytes / self.subblock_bytes
+    }
+
+    /// Byte address of the start of the line containing `addr`.
+    pub fn line_base(&self, addr: u32) -> u32 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// Direct-mapped index of the line containing `addr`.
+    pub fn line_index(&self, addr: u32) -> u32 {
+        (addr / self.line_bytes) % self.num_lines()
+    }
+
+    /// Tag of the line containing `addr`.
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.size_bytes
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B direct-mapped, {}B lines, {}B sub-blocks",
+            self.size_bytes, self.line_bytes, self.subblock_bytes
+        )
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Line {
+    tag: u32,
+    tag_valid: bool,
+    /// Per-sub-block valid bits (lines have at most 32/4 = 8 sub-blocks at
+    /// the paper's parameters, but u64 leaves headroom).
+    sub_valid: u64,
+}
+
+/// A direct-mapped instruction cache with per-sub-block valid bits.
+#[derive(Debug, Clone)]
+pub struct InstructionCache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    hits: u64,
+    misses: u64,
+}
+
+impl InstructionCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> InstructionCache {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid CacheConfig: {e}");
+        }
+        InstructionCache {
+            cfg,
+            lines: vec![Line::default(); cfg.num_lines() as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Sub-block mask covering byte range `[addr, addr + bytes)` within the
+    /// line containing `addr`. The range must not cross a line boundary.
+    fn mask_for(&self, addr: u32, bytes: u32) -> u64 {
+        debug_assert!(bytes > 0);
+        let base = self.cfg.line_base(addr);
+        debug_assert!(
+            addr + bytes <= base + self.cfg.line_bytes,
+            "range {addr:#x}+{bytes} crosses line boundary"
+        );
+        let first = (addr - base) / self.cfg.subblock_bytes;
+        let last = (addr + bytes - 1 - base) / self.cfg.subblock_bytes;
+        let count = last - first + 1;
+        (((1u64 << count) - 1) << first) & Self::full_mask(self.cfg.subblocks_per_line())
+    }
+
+    fn full_mask(n: u32) -> u64 {
+        if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// Checks (without counting) whether every sub-block covering
+    /// `[addr, addr + bytes)` is present. The range may not cross a line
+    /// boundary.
+    pub fn contains(&self, addr: u32, bytes: u32) -> bool {
+        let line = &self.lines[self.cfg.line_index(addr) as usize];
+        if !line.tag_valid || line.tag != self.cfg.tag_of(addr) {
+            return false;
+        }
+        let mask = self.mask_for(addr, bytes);
+        line.sub_valid & mask == mask
+    }
+
+    /// Probes the cache for `[addr, addr + bytes)`, counting a hit or miss.
+    pub fn probe(&mut self, addr: u32, bytes: u32) -> bool {
+        let hit = self.contains(addr, bytes);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Fills the sub-blocks covering `[addr, addr + bytes)`. If the line
+    /// currently holds a different tag, the old contents are invalidated
+    /// first. Ranges may span multiple lines; each affected line is filled.
+    pub fn fill(&mut self, addr: u32, bytes: u32) {
+        let mut a = addr;
+        let end = addr + bytes;
+        while a < end {
+            let line_end = self.cfg.line_base(a) + self.cfg.line_bytes;
+            let chunk = (end - a).min(line_end - a);
+            self.fill_within_line(a, chunk);
+            a += chunk;
+        }
+    }
+
+    fn fill_within_line(&mut self, addr: u32, bytes: u32) {
+        let tag = self.cfg.tag_of(addr);
+        let idx = self.cfg.line_index(addr) as usize;
+        let mask = self.mask_for(addr, bytes);
+        let line = &mut self.lines[idx];
+        if !line.tag_valid || line.tag != tag {
+            line.tag = tag;
+            line.tag_valid = true;
+            line.sub_valid = 0;
+        }
+        line.sub_valid |= mask;
+    }
+
+    /// Invalidates the entire cache.
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            *line = Line::default();
+        }
+    }
+
+    /// Lifetime probe hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime probe misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of currently valid sub-blocks, for occupancy checks.
+    pub fn valid_subblocks(&self) -> u32 {
+        self.lines
+            .iter()
+            .filter(|l| l.tag_valid)
+            .map(|l| l.sub_valid.count_ones())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(size: u32, line: u32) -> InstructionCache {
+        InstructionCache::new(CacheConfig::new(size, line))
+    }
+
+    #[test]
+    fn empty_cache_misses() {
+        let mut c = cache(128, 16);
+        assert!(!c.probe(0, 4));
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = cache(128, 16);
+        c.fill(0x20, 4);
+        assert!(c.probe(0x20, 4));
+        assert!(!c.probe(0x24, 4), "other sub-block still invalid");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn full_line_fill() {
+        let mut c = cache(128, 16);
+        c.fill(0x40, 16);
+        for off in (0..16).step_by(4) {
+            assert!(c.contains(0x40 + off, 4));
+        }
+        assert_eq!(c.valid_subblocks(), 4);
+    }
+
+    #[test]
+    fn conflicting_tag_evicts() {
+        let mut c = cache(64, 16); // 4 lines; 0x0 and 0x40 conflict
+        c.fill(0x0, 16);
+        assert!(c.contains(0x0, 4));
+        c.fill(0x40, 4);
+        assert!(!c.contains(0x0, 4), "old line evicted");
+        assert!(c.contains(0x40, 4));
+        assert!(!c.contains(0x44, 4), "only the filled sub-block is valid");
+    }
+
+    #[test]
+    fn partial_fill_accumulates() {
+        let mut c = cache(64, 16);
+        c.fill(0x10, 4);
+        c.fill(0x14, 4);
+        assert!(c.contains(0x10, 8));
+        assert!(!c.contains(0x10, 16));
+        c.fill(0x18, 8);
+        assert!(c.contains(0x10, 16));
+    }
+
+    #[test]
+    fn fill_spanning_lines() {
+        let mut c = cache(128, 16);
+        c.fill(0x08, 16); // covers 0x08..0x18 across two lines
+        assert!(c.contains(0x08, 8));
+        assert!(c.contains(0x10, 8));
+        assert!(!c.contains(0x00, 4));
+        assert!(!c.contains(0x18, 4));
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = cache(64, 16);
+        c.fill(0, 64);
+        assert_eq!(c.valid_subblocks(), 16);
+        c.flush();
+        assert_eq!(c.valid_subblocks(), 0);
+        assert!(!c.contains(0, 4));
+    }
+
+    #[test]
+    fn two_byte_granularity_probe() {
+        // Mixed-format fetches can be 2 bytes at odd parcel addresses.
+        let mut c = cache(64, 16);
+        c.fill(0x10, 4);
+        assert!(c.contains(0x12, 2));
+        assert!(!c.contains(0x14, 2));
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let g = CacheConfig::new(128, 16);
+        assert_eq!(g.num_lines(), 8);
+        assert_eq!(g.subblocks_per_line(), 4);
+        assert_eq!(g.line_base(0x27), 0x20);
+        assert_eq!(g.line_index(0x20), 2);
+        assert_eq!(g.line_index(0xA0), 2); // wraps
+        assert_ne!(g.tag_of(0x20), g.tag_of(0xA0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CacheConfig::new(128, 16).validate().is_ok());
+        assert!(CacheConfig::new(0, 16).validate().is_err());
+        assert!(CacheConfig::new(96, 16).validate().is_err()); // not pow2
+        assert!(CacheConfig::new(8, 16).validate().is_err()); // size < line
+        assert!(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 2,
+            subblock_bytes: 4
+        }
+        .validate()
+        .is_err()); // line < subblock
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CacheConfig")]
+    fn bad_geometry_panics() {
+        let _ = cache(100, 16);
+    }
+}

@@ -1,0 +1,591 @@
+//! The conventional cache with Hill's always-prefetch strategy (paper §4.1).
+//!
+//! Model, following the paper's description:
+//!
+//! * A PC is presented to the cache at the beginning of each clock cycle; a
+//!   tag and array lookup both complete within the cycle, so a hit supplies
+//!   the decoder that same cycle.
+//! * On each instruction reference the *next sequential instruction* is
+//!   prefetched, even across a line boundary.
+//! * Memory requests are made for **one instruction at a time**, and a new
+//!   request cannot begin until the previous one finishes.
+//! * Demand fetches use the [`ReqClass::IFetch`] arbitration class;
+//!   prefetches use [`ReqClass::IPrefetch`] (lowest priority).
+
+use std::sync::Arc;
+
+use pipe_isa::decode::instr_len;
+use pipe_isa::encode::parcel_has_ext;
+use pipe_isa::{Program, PARCEL_BYTES};
+use pipe_mem::{Beat, BeatSource, MemRequest, MemorySystem, ReqClass};
+
+use crate::cache::{CacheConfig, InstructionCache};
+use crate::engine::FetchEngine;
+use crate::stats::FetchStats;
+
+/// The prefetch strategies Hill compared (the paper adopts
+/// [`Always`](ConvPrefetch::Always) as the consistently best one and calls
+/// the resulting design the *conventional cache*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConvPrefetch {
+    /// Prefetch the next sequential instruction on every reference — the
+    /// paper's conventional cache.
+    #[default]
+    Always,
+    /// Never prefetch: fetch only on demand misses.
+    OnMissOnly,
+    /// Tagged prefetch: prefetch the next sequential instruction only on
+    /// the *first* reference to a block after it is fetched (Gindele's
+    /// scheme, evaluated by Hill).
+    Tagged,
+}
+
+impl std::fmt::Display for ConvPrefetch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvPrefetch::Always => f.write_str("always-prefetch"),
+            ConvPrefetch::OnMissOnly => f.write_str("on-miss-only"),
+            ConvPrefetch::Tagged => f.write_str("tagged-prefetch"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    tag: u64,
+    accepted: bool,
+    addr: u32,
+    bytes: u32,
+    demand: bool,
+}
+
+/// Hill's always-prefetch conventional instruction cache.
+#[derive(Debug)]
+pub struct ConventionalFetch {
+    image: Arc<Vec<u16>>,
+    base: u32,
+    end: u32,
+    cache: InstructionCache,
+    prefetch: ConvPrefetch,
+    /// Tagged mode: sub-block addresses fetched but not yet referenced.
+    fresh: std::collections::HashSet<u32>,
+    /// Tagged mode: a first-reference occurred; prefetch the next block.
+    tagged_trigger: bool,
+    pc: u32,
+    delivered: u64,
+    redirect: Option<(u64, u32)>,
+    pending: Option<Pending>,
+    /// Count the cache probe for the current PC only once.
+    probe_counted: bool,
+    /// An instruction was consumed since the last offer phase: a fetch for
+    /// the (new) PC launches as an always-prefetch *on reference*, per
+    /// Hill's model, rather than as a demand miss.
+    just_consumed: bool,
+    /// Fetch latch: parcel addresses of the current instruction already
+    /// delivered by beats. Needed in the mixed format, where an
+    /// instruction may straddle two lines that conflict in a small cache
+    /// (the halves would otherwise evict each other forever).
+    latch: [Option<u32>; 2],
+    stats: FetchStats,
+}
+
+impl ConventionalFetch {
+    /// Creates a conventional fetch engine over `program` with the given
+    /// cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` fails [`CacheConfig::validate`].
+    pub fn new(program: &Program, cache: CacheConfig) -> ConventionalFetch {
+        ConventionalFetch::with_prefetch(program, cache, ConvPrefetch::Always)
+    }
+
+    /// Creates a conventional fetch engine with one of Hill's alternative
+    /// prefetch strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` fails [`CacheConfig::validate`].
+    pub fn with_prefetch(
+        program: &Program,
+        cache: CacheConfig,
+        prefetch: ConvPrefetch,
+    ) -> ConventionalFetch {
+        ConventionalFetch {
+            image: program.image(),
+            base: program.base(),
+            end: program.end(),
+            cache: InstructionCache::new(cache),
+            prefetch,
+            fresh: std::collections::HashSet::new(),
+            tagged_trigger: false,
+            pc: program.entry(),
+            delivered: 0,
+            redirect: None,
+            pending: None,
+            probe_counted: false,
+            just_consumed: false,
+            latch: [None, None],
+            stats: FetchStats::default(),
+        }
+    }
+
+    /// The underlying cache, for inspection in tests.
+    pub fn cache(&self) -> &InstructionCache {
+        &self.cache
+    }
+
+    fn parcel(&self, addr: u32) -> Option<u16> {
+        if addr < self.base || addr >= self.end {
+            return None;
+        }
+        Some(self.image[((addr - self.base) / PARCEL_BYTES) as usize])
+    }
+
+    /// Size in bytes of the instruction at `addr`, from the image.
+    fn instr_bytes_at(&self, addr: u32) -> Option<u32> {
+        let first = self.parcel(addr)?;
+        Some(instr_len(first) as u32 * PARCEL_BYTES)
+    }
+
+    /// The aligned sub-block range covering `[addr, addr + bytes)`.
+    fn covering(&self, addr: u32, bytes: u32) -> (u32, u32) {
+        let sb = self.cache.config().subblock_bytes;
+        let lo = addr & !(sb - 1);
+        let hi = (addr + bytes + sb - 1) & !(sb - 1);
+        (lo, hi - lo)
+    }
+
+    /// Returns `true` if the complete instruction at `pc` is available:
+    /// every parcel either cached or held in the fetch latch. The covering
+    /// range may cross a line boundary (4-byte instruction at a
+    /// mixed-format odd parcel), in which case both lines are checked.
+    fn instr_cached(&self, addr: u32, bytes: u32) -> bool {
+        let mut a = addr;
+        while a < addr + bytes {
+            if !self.latch.contains(&Some(a)) && !self.cache.contains(a, PARCEL_BYTES) {
+                return false;
+            }
+            a += PARCEL_BYTES;
+        }
+        true
+    }
+
+    fn maybe_trigger(&mut self) {
+        if let Some((after, target)) = self.redirect {
+            if self.delivered == after {
+                self.pc = target;
+                self.redirect = None;
+                self.probe_counted = false;
+                self.latch = [None, None];
+                self.stats.redirects += 1;
+                // An in-flight sequential prefetch is now known wasted (it
+                // still completes and fills the cache).
+                if let Some(p) = &self.pending {
+                    if !p.demand {
+                        self.stats.wasted_requests += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl FetchEngine for ConventionalFetch {
+    fn reset(&mut self, pc: u32) {
+        self.pc = pc;
+        self.delivered = 0;
+        self.redirect = None;
+        self.pending = None;
+        self.probe_counted = false;
+        self.latch = [None, None];
+        self.fresh.clear();
+        self.tagged_trigger = false;
+        self.cache.flush();
+    }
+
+    fn offer_requests(&mut self, mem: &mut MemorySystem) {
+        let just_consumed = std::mem::take(&mut self.just_consumed);
+
+        // Re-offer an unaccepted pending request, upgrading a prefetch to a
+        // demand fetch once the decoder is actually stalled on its range.
+        let stalled_at = (!just_consumed)
+            .then(|| {
+                self.instr_bytes_at(self.pc).map(|_| {
+                    let sb = self.cache.config().subblock_bytes;
+                    self.pc & !(sb - 1)
+                })
+            })
+            .flatten();
+        if let Some(p) = &mut self.pending {
+            if !p.accepted {
+                if !p.demand {
+                    if let Some(lo) = stalled_at {
+                        if lo >= p.addr && lo < p.addr + p.bytes {
+                            p.demand = true;
+                        }
+                    }
+                }
+                let class = if p.demand {
+                    ReqClass::IFetch
+                } else {
+                    ReqClass::IPrefetch
+                };
+                mem.offer(MemRequest::load(class, p.addr, p.bytes, p.tag));
+            }
+            return; // one outstanding request at a time
+        }
+
+        // Fetch for the instruction at PC, if missing. Under the
+        // always-prefetch strategy, when the PC has just advanced onto
+        // this instruction the fetch is the prefetch launched by the
+        // previous reference (IPrefetch class); once the decoder is
+        // stalled on it — or under the other strategies — it is a demand
+        // fetch.
+        if let Some(bytes) = self.instr_bytes_at(self.pc) {
+            if !self.instr_cached(self.pc, bytes) {
+                let (lo, len) = self.covering(self.pc, bytes);
+                let tag = mem.new_tag();
+                let demand = !(just_consumed && self.prefetch == ConvPrefetch::Always);
+                self.pending = Some(Pending {
+                    tag,
+                    accepted: false,
+                    addr: lo,
+                    bytes: len,
+                    demand,
+                });
+                let class = if demand {
+                    ReqClass::IFetch
+                } else {
+                    ReqClass::IPrefetch
+                };
+                mem.offer(MemRequest::load(class, lo, len, tag));
+                return;
+            }
+
+            // Prefetch the next sequential instruction past PC, per the
+            // configured strategy.
+            let allow = match self.prefetch {
+                ConvPrefetch::Always => true,
+                ConvPrefetch::OnMissOnly => false,
+                ConvPrefetch::Tagged => std::mem::take(&mut self.tagged_trigger),
+            };
+            let next = self.pc + bytes;
+            if allow && self.parcel(next).is_some() {
+                // We know the next instruction's size once its first parcel
+                // is fetched; until then prefetch its first sub-block.
+                let want = match self.instr_cached(next, PARCEL_BYTES) {
+                    true => {
+                        let nbytes = self
+                            .instr_bytes_at(next)
+                            .expect("parcel exists, so size is known");
+                        (!self.instr_cached(next, nbytes)).then_some((next, nbytes))
+                    }
+                    false => Some((next, PARCEL_BYTES)),
+                };
+                if let Some((addr, bytes)) = want {
+                    let (lo, len) = self.covering(addr, bytes);
+                    let tag = mem.new_tag();
+                    self.pending = Some(Pending {
+                        tag,
+                        accepted: false,
+                        addr: lo,
+                        bytes: len,
+                        demand: false,
+                    });
+                    mem.offer(MemRequest::load(ReqClass::IPrefetch, lo, len, tag));
+                }
+            }
+        }
+    }
+
+    fn on_accepted(&mut self, tag: u64) {
+        if let Some(p) = &mut self.pending {
+            if p.tag == tag && !p.accepted {
+                p.accepted = true;
+                if p.demand {
+                    self.stats.demand_requests += 1;
+                } else {
+                    self.stats.prefetch_requests += 1;
+                }
+                self.stats.bytes_requested += u64::from(p.bytes);
+            }
+        }
+    }
+
+    fn on_beat(&mut self, beat: &Beat) {
+        debug_assert!(matches!(
+            beat.source,
+            BeatSource::IFetch | BeatSource::IPrefetch
+        ));
+        let Some(p) = &self.pending else { return };
+        if p.tag != beat.tag {
+            return;
+        }
+        self.cache.fill(beat.addr, beat.bytes);
+        if self.prefetch == ConvPrefetch::Tagged {
+            let sb = self.cache.config().subblock_bytes;
+            let mut a = beat.addr & !(sb - 1);
+            while a < beat.addr + beat.bytes {
+                self.fresh.insert(a);
+                a += sb;
+            }
+        }
+        // Latch any parcels of the current instruction carried by this
+        // beat, so a line-straddling instruction cannot self-evict.
+        let mut a = beat.addr;
+        while a < beat.addr + beat.bytes {
+            if a == self.pc || a == self.pc + PARCEL_BYTES {
+                let slot = usize::from(a != self.pc);
+                self.latch[slot] = Some(a);
+            }
+            a += PARCEL_BYTES;
+        }
+        if beat.last {
+            self.pending = None;
+        }
+    }
+
+    fn advance(&mut self) {
+        // Count one probe per new PC value (per reference).
+        if !self.probe_counted {
+            if let Some(bytes) = self.instr_bytes_at(self.pc) {
+                if self.instr_cached(self.pc, bytes) {
+                    self.stats.cache_hits += 1;
+                } else {
+                    self.stats.cache_misses += 1;
+                }
+                self.probe_counted = true;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<(u16, Option<u16>)> {
+        let bytes = self.instr_bytes_at(self.pc)?;
+        if !self.instr_cached(self.pc, bytes) {
+            return None;
+        }
+        let first = self.parcel(self.pc)?;
+        if parcel_has_ext(first) {
+            Some((first, Some(self.parcel(self.pc + PARCEL_BYTES)?)))
+        } else {
+            Some((first, None))
+        }
+    }
+
+    fn head_addr(&self) -> Option<u32> {
+        Some(self.pc)
+    }
+
+    fn consume(&mut self) {
+        let bytes = self
+            .instr_bytes_at(self.pc)
+            .expect("consume without available instruction");
+        debug_assert!(self.instr_cached(self.pc, bytes));
+        if self.prefetch == ConvPrefetch::Tagged {
+            let sb = self.cache.config().subblock_bytes;
+            if self.fresh.remove(&(self.pc & !(sb - 1))) {
+                self.tagged_trigger = true;
+            }
+        }
+        self.pc += bytes;
+        self.delivered += 1;
+        self.probe_counted = false;
+        self.just_consumed = true;
+        self.latch = [None, None];
+        self.stats.instructions_delivered += 1;
+        self.maybe_trigger();
+    }
+
+    fn resolve_branch(&mut self, taken: bool, remaining: u32, target: u32) {
+        if taken {
+            self.redirect = Some((self.delivered + u64::from(remaining), target));
+            self.maybe_trigger();
+        }
+    }
+
+    fn has_outstanding(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    fn stats(&self) -> &FetchStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "conventional"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipe_isa::{Assembler, InstrFormat};
+    use pipe_mem::MemConfig;
+
+    fn program() -> Program {
+        Assembler::new(InstrFormat::Fixed32)
+            .assemble(
+                "lim r1, 2\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n",
+            )
+            .unwrap()
+    }
+
+    fn mem(access: u32) -> MemorySystem {
+        MemorySystem::new(MemConfig {
+            access_cycles: access,
+            ..MemConfig::default()
+        })
+    }
+
+    /// Drives engine + memory for one cycle; returns true if an
+    /// instruction was consumed.
+    fn cycle(f: &mut ConventionalFetch, mem: &mut MemorySystem) -> bool {
+        f.offer_requests(mem);
+        let out = mem.tick();
+        for tag in out.accepted {
+            f.on_accepted(tag);
+        }
+        for beat in &out.beats {
+            if matches!(beat.source, BeatSource::IFetch | BeatSource::IPrefetch) {
+                f.on_beat(beat);
+            }
+        }
+        f.advance();
+        if f.peek().is_some() {
+            f.consume();
+            true
+        } else {
+            false
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_streaming() {
+        let p = program();
+        let mut f = ConventionalFetch::new(&p, CacheConfig::new(64, 16));
+        let mut m = mem(1);
+        // Cycle 0: miss, request accepted. Cycle 1: beat arrives, issue.
+        assert!(!cycle(&mut f, &mut m));
+        assert!(cycle(&mut f, &mut m));
+        assert_eq!(f.stats().demand_requests, 1);
+        assert_eq!(f.stats().instructions_delivered, 1);
+    }
+
+    #[test]
+    fn prefetch_covers_next_instruction() {
+        let p = program();
+        let mut f = ConventionalFetch::new(&p, CacheConfig::new(64, 16));
+        let mut m = mem(1);
+        for _ in 0..12 {
+            cycle(&mut f, &mut m);
+            if f.stats().instructions_delivered >= 3 {
+                break;
+            }
+        }
+        assert!(f.stats().prefetch_requests >= 1, "{:?}", f.stats());
+    }
+
+    #[test]
+    fn warm_cache_delivers_every_cycle() {
+        let p = program();
+        let mut f = ConventionalFetch::new(&p, CacheConfig::new(64, 16));
+        // Pre-warm the entire image.
+        f.cache.fill(0, p.code_bytes());
+        let mut m = mem(6);
+        let mut consumed = 0;
+        for _ in 0..5 {
+            if cycle(&mut f, &mut m) {
+                consumed += 1;
+            }
+        }
+        assert_eq!(consumed, 5, "hit supplies decode every cycle");
+    }
+
+    #[test]
+    fn redirect_to_cached_target_no_bubble() {
+        let p = program();
+        let top = p.symbols()["top"];
+        let mut f = ConventionalFetch::new(&p, CacheConfig::new(64, 16));
+        f.cache.fill(0, p.code_bytes());
+        let mut m = mem(1);
+        // consume lim, lbr, subi, pbr
+        for _ in 0..4 {
+            assert!(cycle(&mut f, &mut m));
+        }
+        f.resolve_branch(true, 0, top);
+        assert!(cycle(&mut f, &mut m), "target available immediately");
+        assert_eq!(f.stats().redirects, 1);
+    }
+
+    #[test]
+    fn one_outstanding_request_at_a_time() {
+        let p = program();
+        let mut f = ConventionalFetch::new(&p, CacheConfig::new(64, 16));
+        let mut m = mem(6);
+        // During the long demand miss, no second request may be offered.
+        for _ in 0..4 {
+            cycle(&mut f, &mut m);
+            assert!(f.stats().demand_requests + f.stats().prefetch_requests <= 1);
+        }
+    }
+
+    #[test]
+    fn on_miss_only_never_prefetches() {
+        let p = program();
+        let mut f =
+            ConventionalFetch::with_prefetch(&p, CacheConfig::new(64, 16), ConvPrefetch::OnMissOnly);
+        let mut m = mem(1);
+        for _ in 0..30 {
+            cycle(&mut f, &mut m);
+        }
+        assert_eq!(f.stats().prefetch_requests, 0, "{:?}", f.stats());
+        assert!(f.stats().demand_requests > 0);
+    }
+
+    #[test]
+    fn tagged_prefetches_on_first_reference_only() {
+        let p = program();
+        let mut f =
+            ConventionalFetch::with_prefetch(&p, CacheConfig::new(64, 16), ConvPrefetch::Tagged);
+        let mut m = mem(1);
+        let mut issued = 0;
+        for _ in 0..40 {
+            if cycle(&mut f, &mut m) {
+                issued += 1;
+            }
+            if issued >= 5 {
+                break;
+            }
+        }
+        let first_pass = f.stats().prefetch_requests + f.stats().demand_requests;
+        assert!(first_pass > 0);
+        // Re-reference the same (now untagged) instructions: no new
+        // prefetches fire.
+        f.resolve_branch(true, 0, 0);
+        let before = f.stats().prefetch_requests;
+        let mut issued2 = 0;
+        for _ in 0..40 {
+            if cycle(&mut f, &mut m) {
+                issued2 += 1;
+            }
+            if issued2 >= 4 {
+                break;
+            }
+        }
+        assert_eq!(
+            f.stats().prefetch_requests,
+            before,
+            "re-referencing untagged blocks must not prefetch"
+        );
+    }
+
+    #[test]
+    fn reset_flushes_cache() {
+        let p = program();
+        let mut f = ConventionalFetch::new(&p, CacheConfig::new(64, 16));
+        f.cache.fill(0, 16);
+        f.reset(0);
+        assert_eq!(f.cache().valid_subblocks(), 0);
+    }
+}

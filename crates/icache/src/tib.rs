@@ -1,0 +1,537 @@
+//! A Target Instruction Buffer (TIB) fetch engine.
+//!
+//! Section 2.1 of the paper discusses the TIB approach studied by Rau &
+//! Rossman, Grohoski & Patel, and Hill, and used by the AMD29000 *instead
+//! of* an instruction cache: a small buffer holds "the n sequential
+//! instructions stored at a branch target address"; on a taken branch
+//! those instructions issue from the TIB while the fetch logic streams the
+//! instructions sequential to them from off-chip memory. The paper notes
+//! two properties this engine lets us verify experimentally:
+//!
+//! * "a small TIB can provide better performance than a simple small
+//!   instruction cache", and
+//! * "the use of a TIB implies large amounts of off-chip accessing".
+//!
+//! Model: a fully-associative, LRU-replaced buffer of branch-target
+//! entries (metadata only — instruction bytes come from the program
+//! image), plus a sequential fetch queue continuously streamed from
+//! off-chip. There is **no** instruction cache: straight-line code always
+//! comes over the bus.
+
+use std::sync::Arc;
+
+use pipe_isa::{Program, PARCEL_BYTES};
+use pipe_mem::{Beat, BeatSource, MemRequest, MemorySystem, ReqClass};
+
+use crate::engine::FetchEngine;
+use crate::queue::ParcelQueue;
+use crate::stats::FetchStats;
+
+/// Geometry of a [`TibFetch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TibConfig {
+    /// Number of target entries.
+    pub entries: u32,
+    /// Instruction bytes held per entry (the paper's *n*, in bytes).
+    pub entry_bytes: u32,
+    /// Capacity of the sequential fetch queue, in bytes.
+    pub fetch_queue_bytes: u32,
+}
+
+impl TibConfig {
+    /// A TIB with total capacity comparable to a cache of `total_bytes`.
+    pub fn with_budget(total_bytes: u32, entry_bytes: u32) -> TibConfig {
+        TibConfig {
+            entries: (total_bytes / entry_bytes).max(1),
+            entry_bytes,
+            fetch_queue_bytes: entry_bytes.max(16),
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for zero entries or invalid sizes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entries == 0 {
+            return Err("TIB needs at least one entry".into());
+        }
+        for (name, v) in [
+            ("entry_bytes", self.entry_bytes),
+            ("fetch_queue_bytes", self.fetch_queue_bytes),
+        ] {
+            if v < PARCEL_BYTES || v % PARCEL_BYTES != 0 {
+                return Err(format!("{name} must be a positive multiple of 2, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total instruction bytes the TIB can hold.
+    pub fn total_bytes(&self) -> u32 {
+        self.entries * self.entry_bytes
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TibEntry {
+    target: u32,
+    valid: bool,
+    last_use: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFill {
+    tag: u64,
+    accepted: bool,
+    class: ReqClass,
+    addr: u32,
+    bytes: u32,
+    /// Next parcel expected by the fetch queue; `None` = discard (stale).
+    expect: Option<u32>,
+    /// TIB entry being filled by this fetch, if any.
+    tib_slot: Option<usize>,
+}
+
+/// The TIB fetch engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct TibFetch {
+    cfg: TibConfig,
+    image: Arc<Vec<u16>>,
+    base: u32,
+    end: u32,
+    entries: Vec<TibEntry>,
+    fq: ParcelQueue,
+    /// Next sequential parcel address not yet scheduled.
+    stream_end: u32,
+    pending: Option<PendingFill>,
+    redirect: Option<(u64, u32)>,
+    delivered: u64,
+    use_clock: u64,
+    stats: FetchStats,
+}
+
+impl TibFetch {
+    /// Creates a TIB engine over `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`TibConfig::validate`].
+    pub fn new(program: &Program, cfg: TibConfig) -> TibFetch {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid TibConfig: {e}");
+        }
+        TibFetch {
+            cfg,
+            image: program.image(),
+            base: program.base(),
+            end: program.end(),
+            entries: vec![
+                TibEntry {
+                    target: 0,
+                    valid: false,
+                    last_use: 0,
+                };
+                cfg.entries as usize
+            ],
+            fq: ParcelQueue::new(cfg.fetch_queue_bytes),
+            stream_end: program.entry(),
+            pending: None,
+            redirect: None,
+            delivered: 0,
+            use_clock: 0,
+            stats: FetchStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TibConfig {
+        &self.cfg
+    }
+
+    fn parcel(&self, addr: u32) -> Option<u16> {
+        if addr < self.base || addr >= self.end {
+            return None;
+        }
+        Some(self.image[((addr - self.base) / PARCEL_BYTES) as usize])
+    }
+
+    fn lookup(&mut self, target: u32) -> Option<usize> {
+        let hit = self
+            .entries
+            .iter()
+            .position(|e| e.valid && e.target == target);
+        if let Some(i) = hit {
+            self.use_clock += 1;
+            self.entries[i].last_use = self.use_clock;
+        }
+        hit
+    }
+
+    fn allocate(&mut self, target: u32) -> usize {
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.last_use } else { 0 })
+            .map(|(i, _)| i)
+            .expect("at least one entry");
+        self.use_clock += 1;
+        self.entries[victim] = TibEntry {
+            target,
+            valid: false, // becomes valid when the fill completes
+            last_use: self.use_clock,
+        };
+        victim
+    }
+
+    fn copy_to_fq(&mut self, from: u32, to: u32) -> u32 {
+        let mut a = from;
+        while a < to && a < self.end && self.fq.room() > 0 {
+            let p = self.image[((a - self.base) / PARCEL_BYTES) as usize];
+            self.fq.push(a, p);
+            a += PARCEL_BYTES;
+        }
+        a
+    }
+
+    fn maybe_trigger(&mut self) {
+        let Some((after, target)) = self.redirect else {
+            return;
+        };
+        if self.delivered != after {
+            return;
+        }
+        self.redirect = None;
+        self.stats.redirects += 1;
+        self.stats.flushed_parcels += self.fq.len() as u64;
+        self.fq.restart(target);
+        // A sequential fill in flight is now wrong-path.
+        if let Some(p) = &mut self.pending {
+            if p.expect.is_some() {
+                p.expect = None;
+                self.stats.wasted_requests += 1;
+            }
+        }
+        // TIB hit: the target instructions issue from the buffer while the
+        // sequential stream restarts past them.
+        if let Some(_slot) = self.lookup(target) {
+            self.stats.cache_hits += 1;
+            let entry_end = (target + self.cfg.entry_bytes).min(self.end);
+            let copied = self.copy_to_fq(target, entry_end);
+            self.stream_end = copied;
+        } else {
+            self.stats.cache_misses += 1;
+            // Allocate; the demand fetch that follows fills the entry.
+            let slot = self.allocate(target);
+            self.stream_end = target;
+            // Tag the next demand fill as the TIB fill for this entry.
+            // (Handled in `supply`, which sees stream_end == target.)
+            let _ = slot;
+        }
+    }
+
+    /// Keeps the sequential fetch queue streaming from off-chip.
+    fn supply(&mut self) {
+        if self.pending.is_some() {
+            return;
+        }
+        let need = self.stream_end;
+        if need >= self.end || need < self.base {
+            return;
+        }
+        let chunk = self
+            .cfg
+            .entry_bytes
+            .min(self.end - need)
+            .min((self.fq.room() as u32) * PARCEL_BYTES);
+        if chunk == 0 {
+            return;
+        }
+        // Demand when the decoder is starved, prefetch otherwise.
+        let class = if self.fq.needs_refill() {
+            ReqClass::IFetch
+        } else {
+            ReqClass::IPrefetch
+        };
+        // If this fetch starts at a freshly-allocated TIB target, it also
+        // fills that entry.
+        let tib_slot = self
+            .entries
+            .iter()
+            .position(|e| !e.valid && e.target == need);
+        self.pending = Some(PendingFill {
+            tag: 0,
+            accepted: false,
+            class,
+            addr: need,
+            bytes: chunk,
+            expect: Some(need),
+            tib_slot,
+        });
+        self.stream_end = need + chunk;
+    }
+}
+
+impl FetchEngine for TibFetch {
+    fn reset(&mut self, pc: u32) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+        self.fq.restart(pc);
+        self.stream_end = pc;
+        self.pending = None;
+        self.redirect = None;
+        self.delivered = 0;
+    }
+
+    fn offer_requests(&mut self, mem: &mut MemorySystem) {
+        self.maybe_trigger();
+        self.supply();
+        if let Some(p) = &mut self.pending {
+            if !p.accepted {
+                if p.tag == 0 {
+                    p.tag = mem.new_tag();
+                }
+                // Upgrade to demand if the decoder has starved meanwhile.
+                if p.class == ReqClass::IPrefetch && self.fq.needs_refill() {
+                    p.class = ReqClass::IFetch;
+                }
+                mem.offer(MemRequest::load(p.class, p.addr, p.bytes, p.tag));
+            }
+        }
+    }
+
+    fn on_accepted(&mut self, tag: u64) {
+        if let Some(p) = &mut self.pending {
+            if p.tag == tag && !p.accepted {
+                p.accepted = true;
+                match p.class {
+                    ReqClass::IFetch => self.stats.demand_requests += 1,
+                    _ => self.stats.prefetch_requests += 1,
+                }
+                self.stats.bytes_requested += u64::from(p.bytes);
+            }
+        }
+    }
+
+    fn on_beat(&mut self, beat: &Beat) {
+        debug_assert!(matches!(
+            beat.source,
+            BeatSource::IFetch | BeatSource::IPrefetch
+        ));
+        let Some(mut p) = self.pending else { return };
+        if p.tag != beat.tag {
+            return;
+        }
+        if let Some(expect) = p.expect {
+            let beat_end = beat.addr + beat.bytes;
+            let mut a = expect.max(beat.addr);
+            while a < beat_end {
+                if self.fq.room() == 0 {
+                    // Queue full: the remainder re-fetches later.
+                    p.expect = None;
+                    self.stream_end = a;
+                    break;
+                }
+                if let Some(parcel) = self.parcel(a) {
+                    self.fq.push(a, parcel);
+                }
+                a += PARCEL_BYTES;
+                if p.expect.is_some() {
+                    p.expect = Some(a);
+                }
+            }
+        }
+        if beat.last {
+            if let Some(slot) = p.tib_slot {
+                self.entries[slot].valid = true;
+            }
+            self.pending = None;
+        } else {
+            self.pending = Some(p);
+        }
+    }
+
+    fn advance(&mut self) {
+        self.maybe_trigger();
+        self.supply();
+    }
+
+    fn peek(&self) -> Option<(u16, Option<u16>)> {
+        self.fq.peek_instruction()
+    }
+
+    fn head_addr(&self) -> Option<u32> {
+        (!self.fq.is_empty()).then(|| self.fq.head_addr())
+    }
+
+    fn consume(&mut self) {
+        let (_, second) = self.peek().expect("consume without available instruction");
+        self.fq.pop();
+        if second.is_some() {
+            self.fq.pop();
+        }
+        self.delivered += 1;
+        self.stats.instructions_delivered += 1;
+        self.maybe_trigger();
+    }
+
+    fn resolve_branch(&mut self, taken: bool, remaining: u32, target: u32) {
+        if !taken {
+            return;
+        }
+        self.redirect = Some((self.delivered + u64::from(remaining), target));
+        self.maybe_trigger();
+    }
+
+    fn has_outstanding(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    fn stats(&self) -> &FetchStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "tib"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipe_isa::{Assembler, InstrFormat};
+    use pipe_mem::MemConfig;
+
+    fn program() -> Program {
+        Assembler::new(InstrFormat::Fixed32)
+            .assemble(
+                "lim r1, 3\nlbr b0, top\ntop: subi r1, r1, 1\nnop\npbr.nez b0, r1, 1\nnop\nhalt\n",
+            )
+            .unwrap()
+    }
+
+    fn mem(access: u32) -> MemorySystem {
+        MemorySystem::new(MemConfig {
+            access_cycles: access,
+            in_bus_bytes: 8,
+            ..MemConfig::default()
+        })
+    }
+
+    fn cycle(f: &mut TibFetch, m: &mut MemorySystem) -> bool {
+        f.offer_requests(m);
+        let out = m.tick();
+        for t in out.accepted {
+            f.on_accepted(t);
+        }
+        for b in &out.beats {
+            if matches!(b.source, BeatSource::IFetch | BeatSource::IPrefetch) {
+                f.on_beat(b);
+            }
+        }
+        f.advance();
+        if f.peek().is_some() {
+            f.consume();
+            true
+        } else {
+            false
+        }
+    }
+
+    #[test]
+    fn config_budget() {
+        let c = TibConfig::with_budget(64, 16);
+        assert_eq!(c.entries, 4);
+        assert_eq!(c.total_bytes(), 64);
+        assert!(c.validate().is_ok());
+        assert!(TibConfig {
+            entries: 0,
+            entry_bytes: 16,
+            fetch_queue_bytes: 16
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn sequential_code_streams_from_memory() {
+        let p = program();
+        let mut f = TibFetch::new(&p, TibConfig::with_budget(64, 16));
+        let mut m = mem(1);
+        let mut consumed = 0;
+        for _ in 0..40 {
+            if cycle(&mut f, &mut m) {
+                consumed += 1;
+            }
+        }
+        assert_eq!(consumed, 7, "the whole 7-instruction image streams through");
+        assert!(f.stats().total_requests() >= 2, "everything comes off-chip");
+    }
+
+    #[test]
+    fn taken_branch_misses_then_hits() {
+        let p = program();
+        let top = p.symbols()["top"];
+        let mut f = TibFetch::new(&p, TibConfig::with_budget(64, 16));
+        let mut m = mem(1);
+        // Issue through the first pbr's delay slot.
+        let mut issued = 0;
+        for _ in 0..40 {
+            if cycle(&mut f, &mut m) {
+                issued += 1;
+            }
+            if issued == 5 {
+                break;
+            }
+        }
+        // First taken branch: TIB miss, entry allocated + filled.
+        f.resolve_branch(true, 0, top);
+        assert_eq!(f.stats().cache_misses, 1);
+        for _ in 0..20 {
+            if f.stats().instructions_delivered >= 8 {
+                break;
+            }
+            cycle(&mut f, &mut m);
+        }
+        // Second taken branch to the same target: TIB hit.
+        f.resolve_branch(true, 0, top);
+        assert_eq!(f.stats().cache_hits, 1, "{:?}", f.stats());
+        // Target instructions are immediately available from the buffer.
+        f.advance();
+        assert!(f.peek().is_some());
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let p = Assembler::new(InstrFormat::Fixed32)
+            .assemble("nop\nnop\nnop\nnop\nnop\nnop\nnop\nnop\nhalt\n")
+            .unwrap();
+        // One entry: a second target evicts the first.
+        let mut f = TibFetch::new(
+            &p,
+            TibConfig {
+                entries: 1,
+                entry_bytes: 8,
+                fetch_queue_bytes: 16,
+            },
+        );
+        let mut m = mem(1);
+        for _ in 0..4 {
+            cycle(&mut f, &mut m);
+        }
+        f.resolve_branch(true, 0, 0x8); // miss, fill
+        for _ in 0..10 {
+            cycle(&mut f, &mut m);
+        }
+        f.resolve_branch(true, 0, 0x10); // miss, evicts 0x8
+        for _ in 0..10 {
+            cycle(&mut f, &mut m);
+        }
+        f.resolve_branch(true, 0, 0x8); // miss again (evicted)
+        assert_eq!(f.stats().cache_misses, 3);
+        assert_eq!(f.stats().cache_hits, 0);
+    }
+}

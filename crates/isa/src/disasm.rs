@@ -1,0 +1,58 @@
+//! Disassembly of program images.
+
+use crate::program::Program;
+
+/// Disassembles an entire program image into text, one instruction per
+/// line, with byte addresses.
+///
+/// ```
+/// use pipe_isa::{Assembler, InstrFormat, disassemble};
+///
+/// let p = Assembler::new(InstrFormat::Fixed32)
+///     .assemble("nop\nhalt\n")
+///     .unwrap();
+/// let text = disassemble(&p);
+/// assert!(text.contains("nop"));
+/// assert!(text.contains("halt"));
+/// ```
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    // Invert the symbol table so labels appear at their addresses.
+    let mut labels: Vec<(u32, &str)> = program
+        .symbols()
+        .iter()
+        .map(|(name, addr)| (*addr, name.as_str()))
+        .collect();
+    labels.sort();
+
+    for (addr, instr) in program.instructions() {
+        for (laddr, name) in &labels {
+            if *laddr == addr {
+                out.push_str(name);
+                out.push_str(":\n");
+            }
+        }
+        out.push_str(&format!("{addr:#06x}:  {instr}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::format::InstrFormat;
+
+    #[test]
+    fn includes_labels_and_addresses() {
+        let p = Assembler::new(InstrFormat::Fixed32)
+            .assemble(
+                "lim r1, 2\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n",
+            )
+            .unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("top:"), "{text}");
+        assert!(text.contains("0x0000:"), "{text}");
+        assert!(text.contains("pbr.nez b0, r1, 0"), "{text}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Instruction encoding to 16-bit parcels.
+//!
+//! ## Layout
+//!
+//! Non-branch first parcel:
+//!
+//! ```text
+//! 15  14..10  9..7  6..4  3..1  0
+//! 0   opcode  rd    rs1   rs2   ext
+//! ```
+//!
+//! Prepare-to-branch first parcel (bit 15 — the *branch bit* — set):
+//!
+//! ```text
+//! 15  14..12  11..9  8..6   5..3  2..1  0
+//! 1   cond    br     delay  rs    0     ext
+//! ```
+//!
+//! When the `ext` bit is set, a second parcel carrying a 16-bit immediate
+//! follows. In the fixed 32-bit format the `ext` bit is set on every
+//! instruction (instructions without an immediate carry a zero parcel), so
+//! a decoder never needs to know the format: it simply follows the bit.
+
+use crate::format::InstrFormat;
+use crate::instruction::{AluOp, Instruction};
+use crate::opcode::{Opcode, BRANCH_BIT};
+
+/// An encoded instruction: one or two parcels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Encoded {
+    parcels: [u16; 2],
+    len: u8,
+}
+
+impl Encoded {
+    /// The encoded parcels.
+    pub fn parcels(&self) -> &[u16] {
+        &self.parcels[..self.len as usize]
+    }
+
+    /// Number of parcels (1 or 2).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always `false`: an encoding has at least one parcel.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Maps an [`AluOp`] to its register-form opcode.
+pub fn alu_reg_opcode(op: AluOp) -> Opcode {
+    match op {
+        AluOp::Add => Opcode::Add,
+        AluOp::Sub => Opcode::Sub,
+        AluOp::And => Opcode::And,
+        AluOp::Or => Opcode::Or,
+        AluOp::Xor => Opcode::Xor,
+        AluOp::Sll => Opcode::Sll,
+        AluOp::Srl => Opcode::Srl,
+        AluOp::Sra => Opcode::Sra,
+    }
+}
+
+/// Maps an [`AluOp`] to its immediate-form opcode.
+pub fn alu_imm_opcode(op: AluOp) -> Opcode {
+    match op {
+        AluOp::Add => Opcode::Addi,
+        AluOp::Sub => Opcode::Subi,
+        AluOp::And => Opcode::Andi,
+        AluOp::Or => Opcode::Ori,
+        AluOp::Xor => Opcode::Xori,
+        AluOp::Sll => Opcode::Slli,
+        AluOp::Srl => Opcode::Srli,
+        AluOp::Sra => Opcode::Srai,
+    }
+}
+
+fn pack(op: Opcode, rd: u16, rs1: u16, rs2: u16) -> u16 {
+    debug_assert!(rd < 8 && rs1 < 8 && rs2 < 8);
+    (op.bits() << 10) | (rd << 7) | (rs1 << 4) | (rs2 << 1)
+}
+
+/// Encodes `instr` under `format`.
+///
+/// In [`InstrFormat::Fixed32`] the result is always two parcels; in
+/// [`InstrFormat::Mixed`] it is two parcels only for immediate-carrying
+/// instructions.
+pub fn encode(instr: &Instruction, format: InstrFormat) -> Encoded {
+    let (first, imm): (u16, Option<u16>) = match *instr {
+        Instruction::Nop => (pack(Opcode::Nop, 0, 0, 0), None),
+        Instruction::Halt => (pack(Opcode::Halt, 0, 0, 0), None),
+        Instruction::Xchg => (pack(Opcode::Xchg, 0, 0, 0), None),
+        Instruction::Alu { op, rd, rs1, rs2 } => (
+            pack(
+                alu_reg_opcode(op),
+                rd.number().into(),
+                rs1.number().into(),
+                rs2.number().into(),
+            ),
+            None,
+        ),
+        Instruction::AluImm { op, rd, rs1, imm } => (
+            pack(
+                alu_imm_opcode(op),
+                rd.number().into(),
+                rs1.number().into(),
+                0,
+            ),
+            Some(imm as u16),
+        ),
+        Instruction::Lim { rd, imm } => {
+            (pack(Opcode::Lim, rd.number().into(), 0, 0), Some(imm as u16))
+        }
+        Instruction::Lui { rd, imm } => (pack(Opcode::Lui, rd.number().into(), 0, 0), Some(imm)),
+        Instruction::Load { base, disp } => (
+            pack(Opcode::Ldw, 0, base.number().into(), 0),
+            Some(disp as u16),
+        ),
+        Instruction::StoreAddr { base, disp } => (
+            pack(Opcode::Sta, 0, base.number().into(), 0),
+            Some(disp as u16),
+        ),
+        Instruction::Lbr { br, target_parcel } => (
+            pack(Opcode::Lbr, br.number().into(), 0, 0),
+            Some(target_parcel),
+        ),
+        Instruction::LbrReg { br, rs1 } => (
+            pack(Opcode::LbrReg, br.number().into(), rs1.number().into(), 0),
+            None,
+        ),
+        Instruction::Pbr {
+            cond,
+            br,
+            rs,
+            delay,
+        } => {
+            debug_assert!(delay < 8, "delay-slot count out of range");
+            let word = BRANCH_BIT
+                | (cond.bits() << 12)
+                | (u16::from(br.number()) << 9)
+                | (u16::from(delay) << 6)
+                | (u16::from(rs.number()) << 3);
+            (word, None)
+        }
+    };
+
+    match (format, imm) {
+        (_, Some(imm)) => Encoded {
+            parcels: [first | 1, imm],
+            len: 2,
+        },
+        (InstrFormat::Fixed32, None) => Encoded {
+            parcels: [first | 1, 0],
+            len: 2,
+        },
+        (InstrFormat::Mixed, None) => Encoded {
+            parcels: [first, 0],
+            len: 1,
+        },
+    }
+}
+
+/// Returns `true` if a first parcel indicates a following immediate parcel.
+pub fn parcel_has_ext(first: u16) -> bool {
+    first & 1 != 0
+}
+
+/// Returns `true` if a first parcel is a prepare-to-branch instruction.
+///
+/// This is the single-bit branch test the PIPE fetch logic performs when
+/// scanning the instruction queue.
+pub fn parcel_is_branch(first: u16) -> bool {
+    first & BRANCH_BIT != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Cond;
+    use crate::reg::{BranchReg, Reg};
+
+    #[test]
+    fn fixed32_always_two_parcels() {
+        let e = encode(&Instruction::Nop, InstrFormat::Fixed32);
+        assert_eq!(e.len(), 2);
+        assert!(parcel_has_ext(e.parcels()[0]));
+    }
+
+    #[test]
+    fn mixed_sizes() {
+        let reg_op = Instruction::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+        };
+        assert_eq!(encode(&reg_op, InstrFormat::Mixed).len(), 1);
+        let imm_op = Instruction::Lim {
+            rd: Reg::new(1),
+            imm: -1,
+        };
+        let e = encode(&imm_op, InstrFormat::Mixed);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.parcels()[1], 0xFFFF);
+    }
+
+    #[test]
+    fn branch_bit_only_on_pbr() {
+        let pbr = Instruction::Pbr {
+            cond: Cond::Nez,
+            br: BranchReg::new(3),
+            rs: Reg::new(2),
+            delay: 5,
+        };
+        let e = encode(&pbr, InstrFormat::Mixed);
+        assert!(parcel_is_branch(e.parcels()[0]));
+
+        for i in [
+            Instruction::Nop,
+            Instruction::Halt,
+            Instruction::Load {
+                base: Reg::new(1),
+                disp: 4,
+            },
+        ] {
+            let e = encode(&i, InstrFormat::Fixed32);
+            assert!(!parcel_is_branch(e.parcels()[0]), "{i}");
+        }
+    }
+
+    #[test]
+    fn ext_bit_consistency_with_size() {
+        let instrs = [
+            Instruction::Nop,
+            Instruction::Xchg,
+            Instruction::AluImm {
+                op: AluOp::Sub,
+                rd: Reg::new(4),
+                rs1: Reg::new(4),
+                imm: 1,
+            },
+        ];
+        for i in &instrs {
+            for f in InstrFormat::ALL {
+                let e = encode(i, f);
+                assert_eq!(
+                    e.len(),
+                    i.size_parcels(f) as usize,
+                    "{i} under {f}"
+                );
+                assert_eq!(parcel_has_ext(e.parcels()[0]), e.len() == 2);
+            }
+        }
+    }
+}

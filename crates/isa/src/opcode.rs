@@ -1,0 +1,201 @@
+//! Opcode numbering and encoding properties.
+
+use std::fmt;
+
+/// Bit 15 of the first parcel: set for prepare-to-branch instructions.
+///
+/// The paper relies on branches being identifiable from a single opcode bit
+/// so the fetch logic can scan the instruction queue for upcoming branches
+/// without a full decode.
+pub const BRANCH_BIT: u16 = 0x8000;
+
+/// The non-branch opcode space (bits 14..10 of the first parcel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0,
+    /// Stop the processor (simulation convention; drains queues first).
+    Halt = 1,
+    /// Exchange foreground and background register banks.
+    Xchg = 2,
+    /// `add rd, rs1, rs2`
+    Add = 3,
+    /// `sub rd, rs1, rs2`
+    Sub = 4,
+    /// `and rd, rs1, rs2`
+    And = 5,
+    /// `or rd, rs1, rs2`
+    Or = 6,
+    /// `xor rd, rs1, rs2`
+    Xor = 7,
+    /// `sll rd, rs1, rs2` — shift left logical by register.
+    Sll = 8,
+    /// `srl rd, rs1, rs2` — shift right logical by register.
+    Srl = 9,
+    /// `sra rd, rs1, rs2` — shift right arithmetic by register.
+    Sra = 10,
+    /// `addi rd, rs1, imm16`
+    Addi = 11,
+    /// `subi rd, rs1, imm16`
+    Subi = 12,
+    /// `andi rd, rs1, imm16`
+    Andi = 13,
+    /// `ori rd, rs1, imm16`
+    Ori = 14,
+    /// `xori rd, rs1, imm16`
+    Xori = 15,
+    /// `slli rd, rs1, imm16`
+    Slli = 16,
+    /// `srli rd, rs1, imm16`
+    Srli = 17,
+    /// `srai rd, rs1, imm16`
+    Srai = 18,
+    /// `lim rd, imm16` — load sign-extended immediate.
+    Lim = 19,
+    /// `lui rd, imm16` — load immediate into the upper halfword.
+    Lui = 20,
+    /// `ldw rs1, imm16` — push `rs1 + imm` onto the load address queue.
+    Ldw = 21,
+    /// `sta rs1, imm16` — push `rs1 + imm` onto the store address queue.
+    Sta = 22,
+    /// `lbr bN, imm16` — load a branch register with a parcel address.
+    Lbr = 23,
+    /// `lbrr bN, rs1` — load a branch register from a register.
+    LbrReg = 24,
+}
+
+impl Opcode {
+    /// All defined opcodes, in numbering order.
+    pub const ALL: [Opcode; 25] = [
+        Opcode::Nop,
+        Opcode::Halt,
+        Opcode::Xchg,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Addi,
+        Opcode::Subi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Lim,
+        Opcode::Lui,
+        Opcode::Ldw,
+        Opcode::Sta,
+        Opcode::Lbr,
+        Opcode::LbrReg,
+    ];
+
+    /// Decodes a 5-bit opcode field value.
+    pub fn from_bits(bits: u16) -> Option<Opcode> {
+        Opcode::ALL.get(bits as usize).copied()
+    }
+
+    /// The 5-bit field value of this opcode.
+    pub fn bits(self) -> u16 {
+        self as u16
+    }
+
+    /// Returns `true` if this opcode carries a 16-bit immediate and is
+    /// therefore always two parcels long, even in the mixed format.
+    pub fn has_immediate(self) -> bool {
+        matches!(
+            self,
+            Opcode::Addi
+                | Opcode::Subi
+                | Opcode::Andi
+                | Opcode::Ori
+                | Opcode::Xori
+                | Opcode::Slli
+                | Opcode::Srli
+                | Opcode::Srai
+                | Opcode::Lim
+                | Opcode::Lui
+                | Opcode::Ldw
+                | Opcode::Sta
+                | Opcode::Lbr
+        )
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Nop => "nop",
+            Opcode::Halt => "halt",
+            Opcode::Xchg => "xchg",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Sll => "sll",
+            Opcode::Srl => "srl",
+            Opcode::Sra => "sra",
+            Opcode::Addi => "addi",
+            Opcode::Subi => "subi",
+            Opcode::Andi => "andi",
+            Opcode::Ori => "ori",
+            Opcode::Xori => "xori",
+            Opcode::Slli => "slli",
+            Opcode::Srli => "srli",
+            Opcode::Srai => "srai",
+            Opcode::Lim => "lim",
+            Opcode::Lui => "lui",
+            Opcode::Ldw => "ldw",
+            Opcode::Sta => "sta",
+            Opcode::Lbr => "lbr",
+            Opcode::LbrReg => "lbrr",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_bits(op.bits()), Some(op));
+        }
+    }
+
+    #[test]
+    fn out_of_range_bits() {
+        assert_eq!(Opcode::from_bits(25), None);
+        assert_eq!(Opcode::from_bits(31), None);
+    }
+
+    #[test]
+    fn immediate_classification() {
+        assert!(Opcode::Addi.has_immediate());
+        assert!(Opcode::Ldw.has_immediate());
+        assert!(Opcode::Lbr.has_immediate());
+        assert!(!Opcode::Add.has_immediate());
+        assert!(!Opcode::Nop.has_immediate());
+        assert!(!Opcode::LbrReg.has_immediate());
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate: {op}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! General-purpose and branch register names.
+
+use std::fmt;
+
+/// One of the eight architecturally visible general-purpose registers.
+///
+/// The PIPE processor has sixteen 32-bit data registers split into a
+/// foreground and a background bank of eight; only the foreground bank is
+/// visible at any moment and the banks are swapped with the `xchg`
+/// instruction. `r7` is the *queue register*: reading it pops the load
+/// queue, writing it pushes the store data queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The queue register (`r7`).
+    pub const QUEUE: Reg = Reg(7);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 8, "register number out of range: r{n}");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, returning `None` if out of range.
+    pub fn try_new(n: u8) -> Option<Reg> {
+        (n < 8).then_some(Reg(n))
+    }
+
+    /// The register number, `0..=7`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the queue register `r7`.
+    pub fn is_queue(self) -> bool {
+        self.0 == 7
+    }
+
+    /// Iterates over all eight registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// One of the eight branch registers holding branch target addresses.
+///
+/// Branch registers are separate from the general-purpose registers; they
+/// are loaded by `lbr`/`lbrr` and consumed by `pbr` (prepare-to-branch).
+/// Keeping targets in dedicated registers lets `pbr` stay a single parcel
+/// and lets the compiler load several targets at the top of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BranchReg(u8);
+
+impl BranchReg {
+    /// Creates a branch register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn new(n: u8) -> BranchReg {
+        assert!(n < 8, "branch register number out of range: b{n}");
+        BranchReg(n)
+    }
+
+    /// Creates a branch register, returning `None` if out of range.
+    pub fn try_new(n: u8) -> Option<BranchReg> {
+        (n < 8).then_some(BranchReg(n))
+    }
+
+    /// The branch register number, `0..=7`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all eight branch registers in order.
+    pub fn all() -> impl Iterator<Item = BranchReg> {
+        (0..8).map(BranchReg)
+    }
+}
+
+impl fmt::Display for BranchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl From<BranchReg> for u8 {
+    fn from(b: BranchReg) -> u8 {
+        b.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for n in 0..8 {
+            let r = Reg::new(n);
+            assert_eq!(r.number(), n);
+            assert_eq!(Reg::try_new(n), Some(r));
+        }
+        assert_eq!(Reg::try_new(8), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(8);
+    }
+
+    #[test]
+    fn queue_register_is_r7() {
+        assert!(Reg::QUEUE.is_queue());
+        assert_eq!(Reg::QUEUE.number(), 7);
+        assert!(!Reg::new(0).is_queue());
+    }
+
+    #[test]
+    fn branch_reg_roundtrip() {
+        for n in 0..8 {
+            assert_eq!(BranchReg::new(n).number(), n);
+        }
+        assert_eq!(BranchReg::try_new(9), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::new(3).to_string(), "r3");
+        assert_eq!(BranchReg::new(5).to_string(), "b5");
+    }
+
+    #[test]
+    fn all_iterators() {
+        assert_eq!(Reg::all().count(), 8);
+        assert_eq!(BranchReg::all().count(), 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! The data memory image behind the external cache.
+//!
+//! The paper assumes the external cache hits 100 % of the time, so the
+//! simulator needs only a flat value store. Values are 32-bit words at
+//! 4-byte-aligned byte addresses; unwritten locations read as zero.
+
+use std::collections::HashMap;
+
+/// Sparse 32-bit word memory, addressed by byte address.
+#[derive(Debug, Clone, Default)]
+pub struct DataMemory {
+    words: HashMap<u32, u32>,
+}
+
+impl DataMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> DataMemory {
+        DataMemory::default()
+    }
+
+    /// Creates a memory pre-loaded from `(byte address, value)` pairs.
+    pub fn from_image<I: IntoIterator<Item = (u32, u32)>>(image: I) -> DataMemory {
+        let mut mem = DataMemory::new();
+        for (addr, value) in image {
+            mem.write(addr, value);
+        }
+        mem
+    }
+
+    fn key(addr: u32) -> u32 {
+        addr & !3
+    }
+
+    /// Reads the 32-bit word containing `addr` (aligned down).
+    pub fn read(&self, addr: u32) -> u32 {
+        self.words.get(&Self::key(addr)).copied().unwrap_or(0)
+    }
+
+    /// Writes the 32-bit word containing `addr` (aligned down).
+    pub fn write(&mut self, addr: u32, value: u32) {
+        self.words.insert(Self::key(addr), value);
+    }
+
+    /// Reads an IEEE-754 single-precision value.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read(addr))
+    }
+
+    /// Writes an IEEE-754 single-precision value.
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write(addr, value.to_bits());
+    }
+
+    /// Number of distinct words ever written.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if nothing was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates over `(aligned byte address, value)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.words.iter().map(|(&a, &v)| (a, v))
+    }
+}
+
+impl PartialEq for DataMemory {
+    /// Two memories are equal when every address reads the same value —
+    /// explicit zeros count as unwritten.
+    fn eq(&self, other: &DataMemory) -> bool {
+        self.iter().all(|(a, v)| other.read(a) == v)
+            && other.iter().all(|(a, v)| self.read(a) == v)
+    }
+}
+
+impl Eq for DataMemory {}
+
+impl FromIterator<(u32, u32)> for DataMemory {
+    fn from_iter<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> DataMemory {
+        DataMemory::from_image(iter)
+    }
+}
+
+impl Extend<(u32, u32)> for DataMemory {
+    fn extend<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+        for (addr, value) in iter {
+            self.write(addr, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let m = DataMemory::new();
+        assert_eq!(m.read(0x1234), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = DataMemory::new();
+        m.write(0x100, 42);
+        assert_eq!(m.read(0x100), 42);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn unaligned_access_hits_containing_word() {
+        let mut m = DataMemory::new();
+        m.write(0x100, 7);
+        assert_eq!(m.read(0x102), 7);
+        m.write(0x103, 9);
+        assert_eq!(m.read(0x100), 9);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut m = DataMemory::new();
+        m.write_f32(0x200, 3.25);
+        assert_eq!(m.read_f32(0x200), 3.25);
+    }
+
+    #[test]
+    fn from_image_and_extend() {
+        let mut m: DataMemory = vec![(0, 1), (4, 2)].into_iter().collect();
+        m.extend(vec![(8, 3)]);
+        assert_eq!(m.read(4), 2);
+        assert_eq!(m.read(8), 3);
+        assert_eq!(m.len(), 3);
+    }
+}

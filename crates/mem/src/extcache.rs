@@ -1,0 +1,187 @@
+//! An optional finite external cache model.
+//!
+//! The paper assumes the off-chip cache is "large enough to achieve a
+//! 100 % hit rate" (§5). This module lets that assumption be relaxed as an
+//! extension study: a direct-mapped tag store in front of main memory;
+//! a miss delays the request by a configurable penalty while the line is
+//! brought in from main memory.
+
+use std::fmt;
+
+/// Geometry and timing of the finite external cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExternalCacheConfig {
+    /// Capacity in bytes (power of two).
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two, ≤ size).
+    pub line_bytes: u32,
+    /// Extra cycles a missing request waits while its line comes from
+    /// main memory.
+    pub miss_penalty: u32,
+}
+
+impl ExternalCacheConfig {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for non-power-of-two or inconsistent sizes.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("size_bytes", self.size_bytes), ("line_bytes", self.line_bytes)] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(format!(
+                    "external cache {name} must be a nonzero power of two, got {v}"
+                ));
+            }
+        }
+        if self.size_bytes < self.line_bytes {
+            return Err("external cache smaller than its line".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ExternalCacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B external cache, {}B lines, +{} cycle miss penalty",
+            self.size_bytes, self.line_bytes, self.miss_penalty
+        )
+    }
+}
+
+/// The external cache's tag store (direct-mapped, whole-line validity —
+/// main-memory transfers fill complete lines).
+#[derive(Debug, Clone)]
+pub struct ExternalCache {
+    cfg: ExternalCacheConfig,
+    tags: Vec<Option<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ExternalCache {
+    /// Creates an empty external cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: ExternalCacheConfig) -> ExternalCache {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ExternalCacheConfig: {e}");
+        }
+        let lines = (cfg.size_bytes / cfg.line_bytes) as usize;
+        ExternalCache {
+            cfg,
+            tags: vec![None; lines],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExternalCacheConfig {
+        &self.cfg
+    }
+
+    fn index_and_tag(&self, addr: u32) -> (usize, u32) {
+        let line = addr / self.cfg.line_bytes;
+        let idx = (line as usize) % self.tags.len();
+        (idx, addr / self.cfg.size_bytes)
+    }
+
+    /// Accesses the byte range `[addr, addr + bytes)`: returns the number
+    /// of line misses incurred, filling the missing lines.
+    pub fn access(&mut self, addr: u32, bytes: u32) -> u32 {
+        let mut misses = 0;
+        let mut a = addr & !(self.cfg.line_bytes - 1);
+        let end = addr.saturating_add(bytes.max(1));
+        while a < end {
+            let (idx, tag) = self.index_and_tag(a);
+            if self.tags[idx] == Some(tag) {
+                self.hits += 1;
+            } else {
+                self.tags[idx] = Some(tag);
+                self.misses += 1;
+                misses += 1;
+            }
+            a = a.saturating_add(self.cfg.line_bytes);
+            if a == 0 {
+                break;
+            }
+        }
+        misses
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(size: u32, line: u32) -> ExternalCache {
+        ExternalCache::new(ExternalCacheConfig {
+            size_bytes: size,
+            line_bytes: line,
+            miss_penalty: 10,
+        })
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = cache(1024, 64);
+        assert_eq!(c.access(0x100, 4), 1);
+        assert_eq!(c.access(0x104, 4), 0);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = cache(128, 64); // two lines
+        assert_eq!(c.access(0x000, 4), 1);
+        assert_eq!(c.access(0x080, 4), 1); // maps to index 0, evicts
+        assert_eq!(c.access(0x000, 4), 1); // miss again
+    }
+
+    #[test]
+    fn spanning_access_counts_each_line() {
+        let mut c = cache(1024, 64);
+        assert_eq!(c.access(0x3C, 16), 2, "crosses a line boundary");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ExternalCacheConfig {
+            size_bytes: 0,
+            line_bytes: 64,
+            miss_penalty: 1
+        }
+        .validate()
+        .is_err());
+        assert!(ExternalCacheConfig {
+            size_bytes: 32,
+            line_bytes: 64,
+            miss_penalty: 1
+        }
+        .validate()
+        .is_err());
+        assert!(ExternalCacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            miss_penalty: 10
+        }
+        .validate()
+        .is_ok());
+    }
+}

@@ -1,0 +1,213 @@
+//! The memory-mapped external floating-point unit.
+//!
+//! The PIPE chip has no floating-point or multiply hardware; the paper
+//! attaches an off-chip FPU addressed as memory: "a pair of data stores to
+//! the appropriate locations will cause a multiply to occur", with the
+//! multiply taking a constant 4 clock cycles (§5). Results return over the
+//! shared input bus with priority below loads/stores and above instruction
+//! prefetches.
+//!
+//! Address map (see the `FPU_*` constants in `pipe-isa` for the canonical
+//! values used by generated code):
+//!
+//! | offset | store effect                      |
+//! |-------:|-----------------------------------|
+//! | +0     | latch operand A                   |
+//! | +4     | operand B, start multiply          |
+//! | +8     | operand B, start add               |
+//! | +12    | operand B, start subtract          |
+//! | +16    | operand B, start divide            |
+
+use std::collections::VecDeque;
+
+/// A floating-point operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// `a * b`
+    Mul,
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a / b`
+    Div,
+}
+
+impl FpOp {
+    /// Decodes the operation selected by a store at byte offset `off` into
+    /// the FPU window. Offset 0 is the operand-A latch, not an operation.
+    pub fn from_offset(off: u32) -> Option<FpOp> {
+        match off {
+            4 => Some(FpOp::Mul),
+            8 => Some(FpOp::Add),
+            12 => Some(FpOp::Sub),
+            16 => Some(FpOp::Div),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the operation on IEEE-754 single-precision bit patterns.
+    pub fn eval_bits(self, a: u32, b: u32) -> u32 {
+        let (a, b) = (f32::from_bits(a), f32::from_bits(b));
+        let r = match self {
+            FpOp::Mul => a * b,
+            FpOp::Add => a + b,
+            FpOp::Sub => a - b,
+            FpOp::Div => a / b,
+        };
+        r.to_bits()
+    }
+}
+
+/// A completed FP operation waiting to return over the input bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpuResult {
+    /// Cycle at which the result becomes available for bus arbitration.
+    pub ready_at: u64,
+    /// The 32-bit result bit pattern.
+    pub value: u32,
+}
+
+/// The external FPU's architectural state.
+#[derive(Debug, Clone, Default)]
+pub struct Fpu {
+    base: u32,
+    latency: u32,
+    operand_a: u32,
+    results: VecDeque<FpuResult>,
+    ops_started: u64,
+}
+
+impl Fpu {
+    /// Creates an FPU mapped at byte address `base` with the given
+    /// operation latency in cycles.
+    pub fn new(base: u32, latency: u32) -> Fpu {
+        Fpu {
+            base,
+            latency,
+            operand_a: 0,
+            results: VecDeque::new(),
+            ops_started: 0,
+        }
+    }
+
+    /// Returns `true` if `addr` falls inside this FPU's window.
+    pub fn owns(&self, addr: u32) -> bool {
+        (self.base..self.base + 0x20).contains(&addr)
+    }
+
+    /// Applies a store to the FPU window at cycle `now`.
+    ///
+    /// A store at offset 0 latches operand A; a store at an operation
+    /// offset starts that operation, completing `latency` cycles later.
+    /// Stores at unmapped offsets inside the window are ignored.
+    pub fn store(&mut self, addr: u32, value: u32, now: u64) {
+        debug_assert!(self.owns(addr));
+        let off = addr - self.base;
+        if off == 0 {
+            self.operand_a = value;
+        } else if let Some(op) = FpOp::from_offset(off) {
+            let result = op.eval_bits(self.operand_a, value);
+            self.results.push_back(FpuResult {
+                ready_at: now + u64::from(self.latency),
+                value: result,
+            });
+            self.ops_started += 1;
+        }
+    }
+
+    /// Takes the oldest result that is ready at cycle `now`, if any.
+    /// Results return strictly in operation order.
+    pub fn take_ready(&mut self, now: u64) -> Option<u32> {
+        match self.results.front() {
+            Some(r) if r.ready_at <= now => self.results.pop_front().map(|r| r.value),
+            _ => None,
+        }
+    }
+
+    /// Peeks whether a result is ready at cycle `now` without taking it.
+    pub fn has_ready(&self, now: u64) -> bool {
+        matches!(self.results.front(), Some(r) if r.ready_at <= now)
+    }
+
+    /// Number of operations started over the FPU's lifetime.
+    pub fn ops_started(&self) -> u64 {
+        self.ops_started
+    }
+
+    /// Number of results still in flight or waiting for the bus.
+    pub fn pending(&self) -> usize {
+        self.results.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fpu() -> Fpu {
+        Fpu::new(0xFFFF_F000, 4)
+    }
+
+    #[test]
+    fn op_decoding() {
+        assert_eq!(FpOp::from_offset(0), None);
+        assert_eq!(FpOp::from_offset(4), Some(FpOp::Mul));
+        assert_eq!(FpOp::from_offset(8), Some(FpOp::Add));
+        assert_eq!(FpOp::from_offset(12), Some(FpOp::Sub));
+        assert_eq!(FpOp::from_offset(16), Some(FpOp::Div));
+        assert_eq!(FpOp::from_offset(20), None);
+    }
+
+    #[test]
+    fn multiply_latency() {
+        let mut f = fpu();
+        f.store(0xFFFF_F000, 2.0f32.to_bits(), 10);
+        f.store(0xFFFF_F004, 3.0f32.to_bits(), 10);
+        assert_eq!(f.pending(), 1);
+        assert!(!f.has_ready(13));
+        assert!(f.has_ready(14));
+        assert_eq!(f.take_ready(14), Some(6.0f32.to_bits()));
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn results_return_in_order() {
+        let mut f = fpu();
+        f.store(0xFFFF_F000, 1.0f32.to_bits(), 0);
+        f.store(0xFFFF_F008, 2.0f32.to_bits(), 0); // 1+2 ready at 4
+        f.store(0xFFFF_F000, 10.0f32.to_bits(), 1);
+        f.store(0xFFFF_F00C, 4.0f32.to_bits(), 1); // 10-4 ready at 5
+        assert_eq!(f.take_ready(10), Some(3.0f32.to_bits()));
+        assert_eq!(f.take_ready(10), Some(6.0f32.to_bits()));
+        assert_eq!(f.take_ready(10), None);
+        assert_eq!(f.ops_started(), 2);
+    }
+
+    #[test]
+    fn operand_a_persists_across_ops() {
+        let mut f = fpu();
+        f.store(0xFFFF_F000, 5.0f32.to_bits(), 0);
+        f.store(0xFFFF_F004, 2.0f32.to_bits(), 0);
+        f.store(0xFFFF_F004, 3.0f32.to_bits(), 1); // A still 5.0
+        assert_eq!(f.take_ready(5), Some(10.0f32.to_bits()));
+        assert_eq!(f.take_ready(5), Some(15.0f32.to_bits()));
+    }
+
+    #[test]
+    fn division() {
+        let mut f = fpu();
+        f.store(0xFFFF_F000, 9.0f32.to_bits(), 0);
+        f.store(0xFFFF_F010, 2.0f32.to_bits(), 0);
+        assert_eq!(f.take_ready(4), Some(4.5f32.to_bits()));
+    }
+
+    #[test]
+    fn window_ownership() {
+        let f = fpu();
+        assert!(f.owns(0xFFFF_F000));
+        assert!(f.owns(0xFFFF_F01F));
+        assert!(!f.owns(0xFFFF_F020));
+        assert!(!f.owns(0x1000));
+    }
+}

@@ -1,0 +1,102 @@
+//! Trip-count calibration to hit the paper's exact instruction count.
+
+/// Solves for trip counts such that
+/// `fixed + Σ trips[i] * body[i] == target`, starting from `base` trip
+/// counts (scaled from the real Livermore kernel loop lengths) and
+/// adjusting the trips of the two kernels whose body sizes are coprime.
+///
+/// Returns the adjusted trip counts.
+///
+/// # Errors
+///
+/// Returns a message if no adjustment keeps every trip count at least
+/// `min_trips`.
+pub fn calibrate_trips(
+    base: &[u32],
+    body: &[u32],
+    fixed: u64,
+    target: u64,
+    adjust: (usize, usize),
+    min_trips: u32,
+) -> Result<Vec<u32>, String> {
+    assert_eq!(base.len(), body.len());
+    let (ai, bi) = adjust;
+    let current: u64 = fixed
+        + base
+            .iter()
+            .zip(body)
+            .map(|(&t, &b)| u64::from(t) * u64::from(b))
+            .sum::<u64>();
+    let delta = target as i64 - current as i64;
+    let wa = i64::from(body[ai]);
+    let wb = i64::from(body[bi]);
+
+    // Search a in a window around delta/wa for integral b.
+    let center = delta / wa;
+    for da in 0..=200_000i64 {
+        for a in [center - da, center + da] {
+            let rem = delta - a * wa;
+            if rem % wb != 0 {
+                continue;
+            }
+            let b = rem / wb;
+            let ta = i64::from(base[ai]) + a;
+            let tb = i64::from(base[bi]) + b;
+            if ta >= i64::from(min_trips) && tb >= i64::from(min_trips) {
+                let mut out = base.to_vec();
+                out[ai] = ta as u32;
+                out[bi] = tb as u32;
+                return Ok(out);
+            }
+        }
+    }
+    Err(format!(
+        "no trip-count adjustment found for delta {delta} with bodies {wa}/{wb}"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(trips: &[u32], body: &[u32], fixed: u64) -> u64 {
+        fixed
+            + trips
+                .iter()
+                .zip(body)
+                .map(|(&t, &b)| u64::from(t) * u64::from(b))
+                .sum::<u64>()
+    }
+
+    #[test]
+    fn hits_target_exactly() {
+        let base = vec![500, 50, 500];
+        let body = vec![29, 51, 16];
+        let fixed = 87;
+        let target = 60_000;
+        let trips = calibrate_trips(&base, &body, fixed, target, (0, 2), 8).unwrap();
+        assert_eq!(total(&trips, &body, fixed), target);
+        assert!(trips.iter().all(|&t| t >= 8));
+        // Untouched loops keep their base trips.
+        assert_eq!(trips[1], 50);
+    }
+
+    #[test]
+    fn coprime_bodies_reach_any_sufficient_target() {
+        let base = vec![100, 100];
+        let body = vec![29, 16];
+        for target in 5000..5050 {
+            let trips = calibrate_trips(&base, &body, 0, target, (0, 1), 1).unwrap();
+            assert_eq!(total(&trips, &body, 0), target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn impossible_target_errors() {
+        // Bodies share a factor; odd residuals are unreachable.
+        let base = vec![10, 10];
+        let body = vec![4, 8];
+        let err = calibrate_trips(&base, &body, 0, 121, (0, 1), 1);
+        assert!(err.is_err());
+    }
+}

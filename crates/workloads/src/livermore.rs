@@ -1,0 +1,601 @@
+//! The first 14 Lawrence Livermore kernels, compiled for PIPE.
+//!
+//! Kernel bodies are modeled on the real LFK computations (hydro fragment,
+//! ICCG, inner product, tridiagonal elimination, ...) at the level that
+//! matters for the paper's experiments: loads per iteration, FPU
+//! operations (each shipping two operands off-chip and returning a result
+//! into the LDQ), stores, integer index work, and one backward
+//! prepare-to-branch per iteration. Each inner loop is padded to exactly
+//! the byte size reported in Table I of the paper, and trip counts are
+//! calibrated so one run of the combined benchmark executes exactly
+//! 150,575 instructions (the paper's §5 figure).
+
+use pipe_isa::{BranchReg, InstrFormat, Instruction, Program, ProgramBuilder, Reg};
+
+use crate::calibrate::calibrate_trips;
+use crate::codegen::{FpKind, Kernel, KernelOp, Src, CONST_AREA};
+
+/// Inner-loop sizes in bytes from Table I of the paper.
+pub const TABLE1_INNER_LOOP_BYTES: [u32; 14] = [
+    116, 204, 64, 80, 76, 72, 288, 732, 272, 260, 56, 56, 328, 224,
+];
+
+/// Total instructions executed by one run of the benchmark (paper §5).
+pub const PAPER_TOTAL_INSTRUCTIONS: u64 = 150_575;
+
+/// Base byte address of the first loop's data region.
+pub const DATA_BASE: u32 = 0x0010_0000;
+/// Byte spacing between per-loop data regions.
+pub const LOOP_REGION: u32 = 0x0001_0000;
+
+/// Kernel names, for reports.
+pub const KERNEL_NAMES: [&str; 14] = [
+    "hydro fragment",
+    "incomplete cholesky (ICCG)",
+    "inner product",
+    "banded linear equations",
+    "tridiagonal elimination",
+    "general linear recurrence",
+    "equation of state",
+    "ADI integration",
+    "numerical integration",
+    "numerical differentiation",
+    "first sum",
+    "first difference",
+    "2-D particle in cell",
+    "1-D particle in cell",
+];
+
+/// Loop lengths of the real LFK kernels, used (scaled) as base trip
+/// counts before calibration.
+const LFK_LOOP_LENGTHS: [u32; 14] = [
+    1001, 101, 1001, 1001, 1001, 64, 995, 100, 101, 101, 1001, 1000, 64, 1001,
+];
+
+fn l(stream: u32, elem_off: i16) -> KernelOp {
+    KernelOp::Load { stream, elem_off }
+}
+
+fn lc(idx: u16) -> KernelOp {
+    KernelOp::LoadConst { idx }
+}
+
+fn fp(kind: FpKind, a: Src, b: Src) -> KernelOp {
+    KernelOp::Fp { kind, a, b }
+}
+
+/// `d[i] = a[i] * b[i]` — load, load, multiply, store. Cost 8.
+fn mul_store(a: u32, b: u32, d: u32) -> Vec<KernelOp> {
+    vec![
+        l(a, 0),
+        l(b, 0),
+        fp(FpKind::Mul, Src::Queue, Src::Queue),
+        KernelOp::Store { stream: d },
+    ]
+}
+
+/// `acc += a[i] * b[i]` — multiply-accumulate into `r6`. Cost 11.
+fn mul_acc(a: u32, b: u32) -> Vec<KernelOp> {
+    vec![
+        l(a, 0),
+        l(b, 0),
+        fp(FpKind::Mul, Src::Queue, Src::Queue),
+        fp(FpKind::Add, Src::Acc, Src::Queue),
+        KernelOp::PopAcc,
+    ]
+}
+
+/// Builds the per-iteration op list for kernel `index` (1-based).
+fn kernel_ops(index: usize) -> Vec<KernelOp> {
+    match index {
+        // LL1 hydro: x[k] = q + y[k] * (r*z[k+10] + t*z[k+11]).
+        1 => vec![
+            l(2, 10),
+            l(2, 11),
+            fp(FpKind::Add, Src::Queue, Src::Queue),
+            l(1, 0),
+            fp(FpKind::Mul, Src::Queue, Src::Queue),
+            lc(0),
+            fp(FpKind::Add, Src::Queue, Src::Queue),
+            KernelOp::Store { stream: 0 },
+        ],
+        // LL2 ICCG: products of off-diagonal bands plus a correction term.
+        2 => {
+            let mut ops = Vec::new();
+            ops.extend(mul_store(0, 1, 2));
+            ops.extend(mul_store(3, 4, 5));
+            ops.extend(mul_store(0, 4, 6));
+            ops.extend(mul_store(3, 1, 2));
+            ops.extend(vec![
+                lc(0),
+                l(5, 0),
+                fp(FpKind::Sub, Src::Queue, Src::Queue),
+                KernelOp::PopAcc,
+            ]);
+            ops
+        }
+        // LL3 inner product: q += z[k] * x[k].
+        3 => vec![
+            l(0, 0),
+            l(1, 0),
+            fp(FpKind::Mul, Src::Queue, Src::Queue),
+            KernelOp::PopAcc,
+        ],
+        // LL4 banded linear equations.
+        4 => vec![
+            l(0, 0),
+            l(1, 0),
+            fp(FpKind::Mul, Src::Queue, Src::Queue),
+            KernelOp::PopAcc,
+            l(2, 0),
+            fp(FpKind::Sub, Src::Acc, Src::Queue),
+            KernelOp::Store { stream: 3 },
+        ],
+        // LL5 tridiagonal: x[i] = z[i] * (y[i] - x[i-1]), recurrence in r6.
+        5 => vec![
+            l(1, 0),
+            l(2, 0),
+            fp(FpKind::Sub, Src::Queue, Src::Acc),
+            fp(FpKind::Mul, Src::Queue, Src::Queue),
+            KernelOp::PopAcc,
+            KernelOp::StoreAcc { stream: 0 },
+        ],
+        // LL6 general linear recurrence (accumulating band product).
+        6 => mul_acc(0, 1),
+        // LL7 equation of state: long multiply/add chains over u, z, y.
+        7 => {
+            let mut ops = Vec::new();
+            ops.extend(mul_acc(0, 1));
+            ops.extend(mul_acc(2, 3));
+            ops.extend(mul_acc(4, 5));
+            ops.extend(mul_store(0, 2, 6));
+            ops.extend(mul_store(1, 3, 6));
+            ops.extend(mul_store(4, 0, 5));
+            ops.extend(vec![
+                lc(0),
+                l(6, 3),
+                fp(FpKind::Mul, Src::Queue, Src::Queue),
+                KernelOp::Store { stream: 6 },
+            ]);
+            ops
+        }
+        // LL8 ADI integration: the largest kernel — many band products.
+        8 => {
+            let mut ops = Vec::new();
+            for g in 0..12u32 {
+                ops.extend(mul_store(g % 6, (g + 1) % 6, (g + 2) % 6));
+            }
+            for g in 0..6u32 {
+                ops.extend(mul_acc(g % 6, (g + 3) % 6));
+            }
+            ops.extend(vec![
+                lc(1),
+                l(6, 2),
+                fp(FpKind::Sub, Src::Queue, Src::Queue),
+                KernelOp::Store { stream: 6 },
+            ]);
+            ops
+        }
+        // LL9 numerical integration.
+        9 => {
+            let mut ops = Vec::new();
+            ops.extend(mul_store(0, 1, 2));
+            ops.extend(mul_store(3, 4, 5));
+            ops.extend(mul_store(0, 3, 6));
+            ops.extend(mul_store(1, 4, 6));
+            ops.extend(mul_acc(2, 5));
+            ops.extend(mul_acc(0, 4));
+            ops.extend(vec![
+                lc(0),
+                l(5, 1),
+                fp(FpKind::Mul, Src::Queue, Src::Queue),
+                KernelOp::Store { stream: 5 },
+            ]);
+            ops
+        }
+        // LL10 numerical differentiation: cascaded differences, many stores.
+        10 => {
+            let mut ops = Vec::new();
+            for g in 0..7u32 {
+                ops.push(l(g % 6, 0));
+                ops.push(fp(FpKind::Sub, Src::Queue, Src::Acc));
+                ops.push(KernelOp::Store { stream: (g + 1) % 6 });
+            }
+            ops.push(l(0, 1));
+            ops.push(KernelOp::PopAcc);
+            ops
+        }
+        // LL11 first sum: x[k] = x[k-1] + y[k], running sum in r6.
+        11 => vec![
+            l(1, 0),
+            fp(FpKind::Add, Src::Queue, Src::Acc),
+            KernelOp::PopAcc,
+            KernelOp::StoreAcc { stream: 0 },
+        ],
+        // LL12 first difference: x[k] = y[k+1] - y[k].
+        12 => vec![
+            l(1, 1),
+            l(1, 0),
+            fp(FpKind::Sub, Src::Queue, Src::Queue),
+            KernelOp::Store { stream: 0 },
+        ],
+        // LL13 2-D particle in cell: gathers, pushes, and index work.
+        13 => {
+            let mut ops = Vec::new();
+            ops.extend(mul_store(0, 1, 2));
+            ops.extend(mul_store(3, 4, 5));
+            ops.extend(mul_store(1, 3, 6));
+            ops.extend(mul_store(4, 0, 2));
+            for s in [5, 6] {
+                ops.push(l(s, 0));
+                ops.push(fp(FpKind::Add, Src::Queue, Src::Acc));
+                ops.push(KernelOp::PopAcc);
+            }
+            for (a, b, d) in [(0, 2, 3), (1, 5, 4)] {
+                ops.push(l(a, 0));
+                ops.push(l(b, 0));
+                ops.push(fp(FpKind::Add, Src::Queue, Src::Queue));
+                ops.push(KernelOp::Store { stream: d });
+            }
+            ops
+        }
+        // LL14 1-D particle in cell.
+        14 => {
+            let mut ops = Vec::new();
+            ops.extend(mul_store(0, 1, 2));
+            ops.extend(mul_store(3, 4, 5));
+            ops.extend(mul_store(0, 4, 6));
+            for s in [2, 5] {
+                ops.push(l(s, 0));
+                ops.push(fp(FpKind::Add, Src::Queue, Src::Acc));
+                ops.push(KernelOp::PopAcc);
+            }
+            ops.push(l(6, 1));
+            ops.push(l(6, 0));
+            ops.push(fp(FpKind::Sub, Src::Queue, Src::Queue));
+            ops.push(KernelOp::Store { stream: 6 });
+            ops
+        }
+        _ => panic!("kernel index {index} out of range 1..=14"),
+    }
+}
+
+/// Builds kernel `index` (1-based) with its Table I size target.
+pub fn kernel(index: usize) -> Kernel {
+    Kernel {
+        index,
+        name: KERNEL_NAMES[index - 1],
+        ops: kernel_ops(index),
+        target_instructions: TABLE1_INNER_LOOP_BYTES[index - 1] / 4,
+    }
+}
+
+/// Description of one loop inside a built [`LivermoreSuite`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// 1-based kernel number.
+    pub index: usize,
+    /// Kernel name.
+    pub name: &'static str,
+    /// Inner-loop size in bytes under the suite's format.
+    pub inner_loop_bytes: u32,
+    /// Inner-loop size in instructions.
+    pub body_instructions: u32,
+    /// Calibrated trip count.
+    pub trips: u32,
+    /// Byte address of the loop top in the program.
+    pub top_address: u32,
+}
+
+/// The combined 14-kernel benchmark program.
+#[derive(Debug, Clone)]
+pub struct LivermoreSuite {
+    program: Program,
+    loops: Vec<LoopInfo>,
+    expected_instructions: u64,
+}
+
+impl LivermoreSuite {
+    /// Builds the benchmark under `format`.
+    ///
+    /// Under [`InstrFormat::Fixed32`] the result is calibrated to the
+    /// paper: inner-loop bytes match Table I and the executed instruction
+    /// count is exactly [`PAPER_TOTAL_INSTRUCTIONS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a kernel violates the LDQ queue discipline or
+    /// calibration fails — both are construction-time bugs, surfaced as
+    /// errors so tests report them legibly.
+    pub fn build(format: InstrFormat) -> Result<LivermoreSuite, String> {
+        Self::build_with_scale(format, 1)
+    }
+
+    /// Builds a reduced version of the benchmark with trip counts divided
+    /// by `divisor` (minimum 8 trips per loop). Inner-loop sizes still
+    /// match Table I; the executed instruction count shrinks accordingly.
+    /// Intended for benchmark harness iterations where the full 150k
+    /// instruction run would dominate measurement time.
+    ///
+    /// # Errors
+    ///
+    /// As for [`build`](Self::build). `divisor` of zero is an error.
+    pub fn build_scaled(format: InstrFormat, divisor: u32) -> Result<LivermoreSuite, String> {
+        if divisor == 0 {
+            return Err("divisor must be positive".into());
+        }
+        Self::build_with_scale(format, divisor)
+    }
+
+    fn build_with_scale(format: InstrFormat, divisor: u32) -> Result<LivermoreSuite, String> {
+        let kernels: Vec<Kernel> = (1..=14).map(kernel).collect();
+        for k in &kernels {
+            k.check_queue_discipline()?;
+        }
+        let bodies: Vec<u32> = kernels.iter().map(|k| k.target_instructions).collect();
+
+        // Executed instructions: global prologue (2) + per-loop prologue
+        // (6 each) + halt (1) + Σ trips·body.
+        let fixed: u64 = 2 + 14 * 6 + 1;
+        let base: Vec<u32> = LFK_LOOP_LENGTHS
+            .iter()
+            .map(|&n| (n / (2 * divisor)).max(8))
+            .collect();
+        let trips = if divisor == 1 {
+            calibrate_trips(&base, &bodies, fixed, PAPER_TOTAL_INSTRUCTIONS, (0, 2), 8)?
+        } else {
+            base
+        };
+
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        let r3 = Reg::new(3);
+        let r4 = Reg::new(4);
+        let r5 = Reg::new(5);
+        let r6 = Reg::new(6);
+        let b0 = BranchReg::new(0);
+
+        let mut b = ProgramBuilder::new(format);
+        // Global prologue: FPU base and scratch.
+        b.push(Instruction::Lim {
+            rd: r5,
+            imm: -4096, // sign-extends to FPU_BASE = 0xFFFF_F000
+        });
+        b.push(Instruction::Lim { rd: r4, imm: 0 });
+
+        for (i, k) in kernels.iter().enumerate() {
+            let label = format!("loop{}", k.index);
+            let region_hi = ((DATA_BASE + i as u32 * LOOP_REGION) >> 16) as u16;
+            // Per-loop prologue: trip counter, data-region pointer,
+            // constants base, accumulator, loop-top branch register.
+            b.push(Instruction::Lim {
+                rd: r1,
+                imm: i16::try_from(trips[i]).map_err(|_| "trip count exceeds lim range")?,
+            });
+            b.push(Instruction::Lim { rd: r2, imm: 0 });
+            b.push(Instruction::Lui {
+                rd: r2,
+                imm: region_hi,
+            });
+            b.push(Instruction::AluImm {
+                op: pipe_isa::AluOp::Add,
+                rd: r3,
+                rs1: r2,
+                imm: CONST_AREA,
+            });
+            b.push(Instruction::Lim { rd: r6, imm: 0 });
+            b.lbr_label(b0, label.clone());
+            b.label(label);
+            b.extend(k.lower_body(b0));
+        }
+        b.push(Instruction::Halt);
+
+        // Initial data: a few nonzero floats at the head of every stream
+        // plus the per-loop constants (the rest of the arrays read as 0.0).
+        for i in 0..14u32 {
+            let region = DATA_BASE + i * LOOP_REGION;
+            for stream in 0..7u32 {
+                for e in 0..16u32 {
+                    let v = 1.0f32 + (stream as f32) * 0.5 + (e as f32) * 0.25;
+                    b.data_word(region + stream * 0x1000 + e * 4, v.to_bits());
+                }
+            }
+            for c in 0..4u32 {
+                b.data_word(region + CONST_AREA as u32 + c * 4, (0.5f32 * (c + 1) as f32).to_bits());
+            }
+        }
+
+        let program = b.build().map_err(|e| e.to_string())?;
+
+        let mut infos = Vec::with_capacity(14);
+        for (i, k) in kernels.iter().enumerate() {
+            let top = program.symbols()[&format!("loop{}", k.index)];
+            let body = k.lower_body(b0);
+            let bytes: u32 = body.iter().map(|ins| ins.size_bytes(format)).sum();
+            infos.push(LoopInfo {
+                index: k.index,
+                name: k.name,
+                inner_loop_bytes: bytes,
+                body_instructions: k.target_instructions,
+                trips: trips[i],
+                top_address: top,
+            });
+        }
+
+        let expected = fixed
+            + trips
+                .iter()
+                .zip(&bodies)
+                .map(|(&t, &bi)| u64::from(t) * u64::from(bi))
+                .sum::<u64>();
+
+        Ok(LivermoreSuite {
+            program,
+            loops: infos,
+            expected_instructions: expected,
+        })
+    }
+
+    /// The combined benchmark program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Per-loop metadata (Table I reproduction).
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// The exact number of instructions one run executes.
+    pub fn expected_instructions(&self) -> u64 {
+        self.expected_instructions
+    }
+}
+
+/// Builds the paper's benchmark: the 14 kernels under the fixed 32-bit
+/// format, calibrated to 150,575 executed instructions.
+///
+/// # Panics
+///
+/// Panics if suite construction fails — construction is deterministic and
+/// covered by tests, so a failure indicates a build-breaking code change.
+pub fn livermore_benchmark() -> LivermoreSuite {
+    LivermoreSuite::build(InstrFormat::Fixed32).expect("livermore suite builds")
+}
+
+/// Builds a single kernel as a standalone program (prologue, `trips`
+/// iterations, halt) for focused tests and micro-benchmarks.
+///
+/// # Errors
+///
+/// Returns a message for invalid kernels or out-of-range trip counts.
+pub fn single_kernel_program(
+    index: usize,
+    trips: u32,
+    format: InstrFormat,
+) -> Result<Program, String> {
+    kernel_program(&kernel(index), trips, format)
+}
+
+/// Builds an arbitrary [`Kernel`] as a standalone program with the
+/// standard register conventions and data layout. Useful for fuzzing the
+/// simulator with randomly composed (queue-disciplined) kernels.
+///
+/// # Errors
+///
+/// Returns a message for invalid kernels or out-of-range trip counts.
+pub fn kernel_program(k: &Kernel, trips: u32, format: InstrFormat) -> Result<Program, String> {
+    k.check_queue_discipline()?;
+    let r1 = Reg::new(1);
+    let r2 = Reg::new(2);
+    let r3 = Reg::new(3);
+    let r4 = Reg::new(4);
+    let r5 = Reg::new(5);
+    let r6 = Reg::new(6);
+    let b0 = BranchReg::new(0);
+
+    let mut b = ProgramBuilder::new(format);
+    b.push(Instruction::Lim { rd: r5, imm: -4096 });
+    b.push(Instruction::Lim { rd: r4, imm: 0 });
+    b.push(Instruction::Lim {
+        rd: r1,
+        imm: i16::try_from(trips).map_err(|_| "trip count exceeds lim range")?,
+    });
+    b.push(Instruction::Lim { rd: r2, imm: 0 });
+    b.push(Instruction::Lui {
+        rd: r2,
+        imm: (DATA_BASE >> 16) as u16,
+    });
+    b.push(Instruction::AluImm {
+        op: pipe_isa::AluOp::Add,
+        rd: r3,
+        rs1: r2,
+        imm: CONST_AREA,
+    });
+    b.push(Instruction::Lim { rd: r6, imm: 0 });
+    b.lbr_label(b0, "top");
+    b.label("top");
+    b.extend(k.lower_body(b0));
+    b.push(Instruction::Halt);
+    b.build().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_pass_queue_discipline() {
+        for i in 1..=14 {
+            kernel(i)
+                .check_queue_discipline()
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn inner_loop_sizes_match_table1() {
+        let suite = livermore_benchmark();
+        for (info, &expect) in suite.loops().iter().zip(&TABLE1_INNER_LOOP_BYTES) {
+            assert_eq!(
+                info.inner_loop_bytes, expect,
+                "loop {} ({})",
+                info.index, info.name
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_to_paper_instruction_count() {
+        let suite = livermore_benchmark();
+        assert_eq!(suite.expected_instructions(), PAPER_TOTAL_INSTRUCTIONS);
+    }
+
+    #[test]
+    fn loops_fall_through_in_order() {
+        let suite = livermore_benchmark();
+        let tops: Vec<u32> = suite.loops().iter().map(|l| l.top_address).collect();
+        assert!(tops.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mixed_format_is_denser() {
+        let fixed = livermore_benchmark();
+        let mixed = LivermoreSuite::build(InstrFormat::Mixed).unwrap();
+        for (f, m) in fixed.loops().iter().zip(mixed.loops()) {
+            assert!(m.inner_loop_bytes < f.inner_loop_bytes, "loop {}", f.index);
+        }
+        assert_eq!(
+            mixed.expected_instructions(),
+            fixed.expected_instructions(),
+            "format changes size, not instruction count"
+        );
+    }
+
+    #[test]
+    fn single_kernel_program_builds() {
+        for i in 1..=14 {
+            let p = single_kernel_program(i, 5, InstrFormat::Fixed32).unwrap();
+            assert!(p.static_count() > 0);
+        }
+    }
+
+    #[test]
+    fn scaled_suite_is_smaller_but_same_shape() {
+        let full = livermore_benchmark();
+        let scaled = LivermoreSuite::build_scaled(InstrFormat::Fixed32, 10).unwrap();
+        assert!(scaled.expected_instructions() < full.expected_instructions() / 4);
+        for (a, b) in full.loops().iter().zip(scaled.loops()) {
+            assert_eq!(a.inner_loop_bytes, b.inner_loop_bytes, "loop {}", a.index);
+        }
+        assert!(LivermoreSuite::build_scaled(InstrFormat::Fixed32, 0).is_err());
+    }
+
+    #[test]
+    fn half_the_loops_fit_in_128_bytes() {
+        // The paper explains the knee at 128 bytes by half the inner loops
+        // fitting in a 128-byte cache.
+        let n = TABLE1_INNER_LOOP_BYTES.iter().filter(|&&b| b <= 128).count();
+        assert_eq!(n, 7);
+    }
+}

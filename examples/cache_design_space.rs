@@ -1,0 +1,62 @@
+//! Explore the cache design space: sweep cache sizes and memory speeds
+//! for one strategy and print a cycles table — a small interactive version
+//! of the paper's figures.
+//!
+//! ```sh
+//! cargo run --release --example cache_design_space [pipe|conventional]
+//! ```
+
+use pipe_repro::prelude::*;
+
+fn main() {
+    let strategy = std::env::args().nth(1).unwrap_or_else(|| "pipe".into());
+    let suite = livermore_benchmark();
+
+    println!("strategy: {strategy}");
+    println!("total cycles for the 150,575-instruction Livermore benchmark");
+    println!("(rows: cache size; columns: memory access time, 8-byte bus)\n");
+
+    let sizes = [16u32, 32, 64, 128, 256, 512];
+    let accesses = [1u32, 2, 3, 6];
+
+    print!("{:>8}", "size");
+    for a in accesses {
+        print!("{:>12}", format!("{a}-cycle"));
+    }
+    println!();
+
+    for size in sizes {
+        let fetch = match strategy.as_str() {
+            "conventional" => {
+                if size < 16 {
+                    continue;
+                }
+                FetchStrategy::Conventional(CacheConfig::new(size, 16))
+            }
+            _ => {
+                if size < 16 {
+                    continue;
+                }
+                FetchStrategy::Pipe(PipeFetchConfig::table2(size, 16, 16, 16))
+            }
+        };
+        print!("{:>7}B", size);
+        for access in accesses {
+            let cfg = SimConfig {
+                fetch,
+                mem: MemConfig {
+                    access_cycles: access,
+                    in_bus_bytes: 8,
+                    ..MemConfig::default()
+                },
+                ..SimConfig::default()
+            };
+            let stats = run_program(suite.program(), &cfg).expect("runs");
+            print!("{:>12}", stats.cycles);
+        }
+        println!();
+    }
+
+    println!("\nTry `cargo run --release --example cache_design_space conventional`");
+    println!("and compare: the PIPE columns barely move with cache size.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: assemble a tiny PIPE program and run it on the simulator.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pipe_repro::prelude::*;
+
+fn main() {
+    // A small loop that sums 1..=10 in r2, written in PIPE assembly.
+    let source = r#"
+        lim   r1, 10          ; loop counter
+        lim   r2, 0           ; accumulator
+        lbr   b0, top         ; load the loop-top address into b0
+    top:
+        add   r2, r2, r1      ; r2 += r1
+        subi  r1, r1, 1
+        pbr.nez b0, r1, 1     ; branch back while r1 != 0, one delay slot
+        nop
+        halt
+    "#;
+    let program = Assembler::new(InstrFormat::Fixed32)
+        .assemble(source)
+        .expect("assembles");
+
+    // Run on the PIPE processor as built: a 128-byte instruction cache of
+    // 8-byte lines with 8-byte IQ and IQB, fast external memory.
+    let config = SimConfig::default();
+    let stats = run_program(&program, &config).expect("runs");
+
+    println!("program ran in {} cycles", stats.cycles);
+    println!("instructions issued: {}", stats.instructions_issued);
+    println!("CPI: {:.3}", stats.cpi());
+    println!(
+        "branches: {} taken / {} not taken",
+        stats.branches_taken, stats.branches_not_taken
+    );
+    println!(
+        "fetch: {} demand requests, {} prefetches, {:.1}% cache hit rate",
+        stats.fetch.demand_requests,
+        stats.fetch.prefetch_requests,
+        stats.fetch.hit_rate() * 100.0
+    );
+
+    // The same program under the conventional always-prefetch cache.
+    let conventional = SimConfig {
+        fetch: FetchStrategy::Conventional(CacheConfig::new(128, 16)),
+        ..SimConfig::default()
+    };
+    let conv = run_program(&program, &conventional).expect("runs");
+    println!(
+        "\nconventional cache runs it in {} cycles (PIPE: {})",
+        conv.cycles, stats.cycles
+    );
+}

@@ -1,0 +1,108 @@
+//! Failure injection: malformed programs and configurations must fail
+//! loudly and legibly, never hang silently or corrupt state.
+
+use pipe_repro::core::{interpret, run_program, FetchStrategy, InterpError, SimConfig, SimError};
+use pipe_repro::icache::{CacheConfig, PipeFetchConfig};
+use pipe_repro::isa::{Assembler, InstrFormat};
+use pipe_repro::mem::MemConfig;
+
+fn asm(src: &str) -> pipe_repro::isa::Program {
+    Assembler::new(InstrFormat::Fixed32).assemble(src).unwrap()
+}
+
+fn quick(src: &str, fetch: FetchStrategy) -> Result<pipe_repro::core::SimStats, SimError> {
+    let cfg = SimConfig {
+        fetch,
+        mem: MemConfig::default(),
+        max_cycles: 20_000,
+        ..SimConfig::default()
+    };
+    run_program(&asm(src), &cfg)
+}
+
+#[test]
+fn unpaired_store_address_times_out() {
+    // A store address with no data can never drain.
+    let err = quick("lim r1, 0x100\nsta r1, 0\nhalt\n", FetchStrategy::Perfect).unwrap_err();
+    assert!(matches!(err, SimError::Timeout { .. }));
+}
+
+#[test]
+fn queue_read_without_producer_times_out_on_every_engine() {
+    for fetch in [
+        FetchStrategy::Perfect,
+        FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+        FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
+    ] {
+        let err = quick("or r1, r7, r7\nhalt\n", fetch).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "under {fetch}");
+    }
+}
+
+#[test]
+fn interpreter_reports_the_same_bugs_precisely() {
+    // The interpreter diagnoses the root cause rather than timing out.
+    let e = interpret(&asm("or r1, r7, r7\nhalt\n"), 1000).unwrap_err();
+    assert!(matches!(e, InterpError::QueueUnderflow { pc: 0 }));
+
+    let e = interpret(&asm("nop\nnop\n"), 1000).unwrap_err();
+    assert!(matches!(e, InterpError::PcOutOfRange { .. }));
+}
+
+#[test]
+fn running_off_the_image_times_out_not_panics() {
+    // No halt: engines run out of instructions and the processor stalls
+    // forever — a timeout, never a panic.
+    for fetch in [
+        FetchStrategy::Perfect,
+        FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+        FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
+    ] {
+        let err = quick("nop\nnop\nnop\n", fetch).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "under {fetch}");
+    }
+}
+
+#[test]
+fn invalid_configurations_rejected_up_front() {
+    let program = asm("halt\n");
+    let bad_cache = SimConfig {
+        fetch: FetchStrategy::Conventional(CacheConfig::new(24, 16)),
+        ..SimConfig::default()
+    };
+    assert!(matches!(
+        run_program(&program, &bad_cache),
+        Err(SimError::Config(_))
+    ));
+
+    let bad_mem = SimConfig {
+        mem: MemConfig {
+            access_cycles: 0,
+            ..MemConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    assert!(matches!(
+        run_program(&program, &bad_mem),
+        Err(SimError::Config(_))
+    ));
+}
+
+#[test]
+fn branch_to_garbage_is_a_timeout() {
+    // Branch register never loaded: the branch goes to address 0... which
+    // re-executes from the top forever (no counter change) until the
+    // budget runs out. Must be a timeout, not a hang or panic.
+    let src = "lim r1, 1\npbr b0, r1, 0\nhalt\n";
+    let err = quick(src, FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)));
+    assert!(matches!(err, Err(SimError::Timeout { .. })));
+}
+
+#[test]
+fn error_messages_are_legible() {
+    let err = quick("sta r0, 0\nhalt\n", FetchStrategy::Perfect).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("did not complete"), "{msg}");
+    let e = interpret(&asm("or r1, r7, r7\nhalt\n"), 10).unwrap_err();
+    assert!(e.to_string().contains("empty load queue"), "{e}");
+}

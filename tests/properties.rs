@@ -1,0 +1,469 @@
+//! Property-based tests over core data structures and cross-engine
+//! architectural equivalence.
+
+use proptest::prelude::*;
+
+use pipe_repro::core::{FetchStrategy, Processor, SimConfig};
+use pipe_repro::icache::{CacheConfig, InstructionCache, PipeFetchConfig};
+use pipe_repro::isa::{
+    decode, encode, AluOp, BranchReg, Cond, InstrFormat, Instruction, ProgramBuilder, Reg,
+};
+use pipe_repro::mem::{MemConfig, MemRequest, MemorySystem, ReqClass};
+
+// ---------------------------------------------------------------------
+// ISA: encode/decode round-trip over the full instruction space.
+// ---------------------------------------------------------------------
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(Reg::new)
+}
+
+fn arb_breg() -> impl Strategy<Value = BranchReg> {
+    (0u8..8).prop_map(BranchReg::new)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Always),
+        Just(Cond::Eqz),
+        Just(Cond::Nez),
+        Just(Cond::Gtz),
+        Just(Cond::Ltz),
+        Just(Cond::Never),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+        Just(Instruction::Xchg),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, rd, rs1, imm)| Instruction::AluImm { op, rd, rs1, imm }),
+        (arb_reg(), any::<i16>()).prop_map(|(rd, imm)| Instruction::Lim { rd, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        (arb_reg(), any::<i16>()).prop_map(|(base, disp)| Instruction::Load { base, disp }),
+        (arb_reg(), any::<i16>()).prop_map(|(base, disp)| Instruction::StoreAddr { base, disp }),
+        (arb_breg(), any::<u16>())
+            .prop_map(|(br, target_parcel)| Instruction::Lbr { br, target_parcel }),
+        (arb_breg(), arb_reg()).prop_map(|(br, rs1)| Instruction::LbrReg { br, rs1 }),
+        (arb_cond(), arb_breg(), arb_reg(), 0u8..8).prop_map(|(cond, br, rs, delay)| {
+            Instruction::Pbr {
+                cond,
+                br,
+                rs,
+                delay,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Ties the whole ISA toolchain together: the `Display` form of any
+    /// instruction is valid assembler syntax that round-trips through the
+    /// text assembler, the encoder, and the decoder.
+    #[test]
+    fn display_assembles_back_to_the_same_instruction(
+        instrs in proptest::collection::vec(arb_instruction(), 1..40),
+        fixed in any::<bool>(),
+    ) {
+        let format = if fixed { InstrFormat::Fixed32 } else { InstrFormat::Mixed };
+        let source: String = instrs
+            .iter()
+            .map(|i| format!("{i}\n"))
+            .collect();
+        let program = pipe_repro::isa::Assembler::new(format)
+            .assemble(&source)
+            .expect("display output assembles");
+        let decoded: Vec<Instruction> = program.instructions().map(|(_, i)| i).collect();
+        prop_assert_eq!(decoded, instrs);
+    }
+
+    #[test]
+    fn binfmt_roundtrips_any_program(
+        instrs in proptest::collection::vec(arb_instruction(), 1..60),
+        data in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..10),
+        fixed in any::<bool>(),
+    ) {
+        let format = if fixed { InstrFormat::Fixed32 } else { InstrFormat::Mixed };
+        let mut b = ProgramBuilder::new(format);
+        b.extend(instrs.iter().copied());
+        for &(addr, value) in &data {
+            b.data_word(addr, value);
+        }
+        b.label("end");
+        let program = b.build().expect("builds");
+        let bytes = pipe_repro::isa::write_program(&program);
+        let loaded = pipe_repro::isa::read_program(&bytes).expect("loads");
+        prop_assert_eq!(loaded.parcels(), program.parcels());
+        prop_assert_eq!(loaded.symbols(), program.symbols());
+        prop_assert_eq!(loaded.data(), program.data());
+        prop_assert_eq!(loaded.format(), program.format());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instruction(), fixed in any::<bool>()) {
+        let format = if fixed { InstrFormat::Fixed32 } else { InstrFormat::Mixed };
+        let e = encode(&instr, format);
+        let p = e.parcels();
+        let decoded = decode(p[0], p.get(1).copied()).expect("decodes");
+        prop_assert_eq!(decoded, instr);
+    }
+
+    #[test]
+    fn encoded_size_matches_declared_size(instr in arb_instruction()) {
+        for format in InstrFormat::ALL {
+            let e = encode(&instr, format);
+            prop_assert_eq!(e.len() as u32, instr.size_parcels(format));
+        }
+    }
+
+    #[test]
+    fn branch_bit_iff_pbr(instr in arb_instruction()) {
+        let e = encode(&instr, InstrFormat::Fixed32);
+        prop_assert_eq!(
+            pipe_repro::isa::encode::parcel_is_branch(e.parcels()[0]),
+            instr.is_branch()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache: model equivalence against a naive reference.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Fill { addr: u32, bytes: u32 },
+    Check { addr: u32, bytes: u32 },
+}
+
+fn arb_cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    let op = prop_oneof![
+        ((0u32..1024), (1u32..=3)).prop_map(|(a, w)| CacheOp::Fill {
+            addr: a * 2,
+            bytes: w * 4
+        }),
+        ((0u32..1024), (1u32..=2)).prop_map(|(a, w)| CacheOp::Check {
+            addr: a * 2,
+            bytes: w * 2
+        }),
+    ];
+    proptest::collection::vec(op, 1..200)
+}
+
+/// Naive reference: per 4-byte sub-block, remember which tag is valid.
+#[derive(Default)]
+struct RefCache {
+    // line index -> (tag, set of valid sub-block offsets)
+    lines: std::collections::HashMap<u32, (u32, std::collections::HashSet<u32>)>,
+}
+
+impl RefCache {
+    fn fill(&mut self, cfg: &CacheConfig, addr: u32, bytes: u32) {
+        let mut a = addr & !3;
+        while a < addr + bytes {
+            let idx = cfg.line_index(a);
+            let tag = cfg.tag_of(a);
+            let entry = self.lines.entry(idx).or_insert((tag, Default::default()));
+            if entry.0 != tag {
+                *entry = (tag, Default::default());
+            }
+            entry.1.insert((a - cfg.line_base(a)) / 4);
+            a += 4;
+        }
+    }
+
+    fn contains(&self, cfg: &CacheConfig, addr: u32, bytes: u32) -> bool {
+        let mut a = addr & !3;
+        let end = addr + bytes;
+        while a < end {
+            let idx = cfg.line_index(a);
+            match self.lines.get(&idx) {
+                Some((tag, subs))
+                    if *tag == cfg.tag_of(a) && subs.contains(&((a - cfg.line_base(a)) / 4)) => {}
+                _ => return false,
+            }
+            a += 4;
+        }
+        true
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_model(ops in arb_cache_ops(), size_pow in 4u32..10, line_pow in 3u32..6) {
+        let size = 1u32 << size_pow;
+        let line = (1u32 << line_pow).min(size);
+        let cfg = CacheConfig::new(size, line);
+        let mut cache = InstructionCache::new(cfg);
+        let mut reference = RefCache::default();
+        for op in &ops {
+            match *op {
+                CacheOp::Fill { addr, bytes } => {
+                    cache.fill(addr, bytes);
+                    reference.fill(&cfg, addr, bytes);
+                }
+                CacheOp::Check { addr, bytes } => {
+                    // Keep the probe within one line, as the cache requires.
+                    let line_end = cfg.line_base(addr) + cfg.line_bytes;
+                    let bytes = bytes.min(line_end - addr);
+                    prop_assert_eq!(
+                        cache.contains(addr, bytes),
+                        reference.contains(&cfg, addr, bytes),
+                        "at {:#x}+{}", addr, bytes
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory system: conservation and completeness of responses.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn every_accepted_read_is_fully_delivered(
+        sizes in proptest::collection::vec(1u32..=8, 1..20),
+        access in 1u32..=6,
+        pipelined in any::<bool>(),
+        wide_bus in any::<bool>(),
+    ) {
+        let mut mem = MemorySystem::new(MemConfig {
+            access_cycles: access,
+            pipelined,
+            in_bus_bytes: if wide_bus { 8 } else { 4 },
+            ..MemConfig::default()
+        });
+        let mut queue: Vec<(u64, u32)> = Vec::new();
+        for (i, &parcels) in sizes.iter().enumerate() {
+            let tag = mem.new_tag();
+            queue.push((tag, parcels * 2));
+            // Re-offer until accepted.
+            let mut accepted = false;
+            for _ in 0..200 {
+                mem.offer(MemRequest::load(ReqClass::IFetch, (i as u32) * 64, parcels * 2, tag));
+                let out = mem.tick();
+                if out.accepted.contains(&tag) {
+                    accepted = true;
+                }
+                for b in &out.beats {
+                    if let Some(entry) = queue.iter_mut().find(|(t, _)| *t == b.tag) {
+                        entry.1 = entry.1.saturating_sub(b.bytes);
+                        if b.last {
+                            prop_assert_eq!(entry.1, 0, "last beat must complete the transfer");
+                        }
+                    }
+                }
+                if accepted {
+                    break;
+                }
+            }
+            prop_assert!(accepted, "request {i} never accepted");
+        }
+        // Drain everything.
+        for _ in 0..2000 {
+            if mem.is_idle() {
+                break;
+            }
+            let out = mem.tick();
+            for b in &out.beats {
+                if let Some(entry) = queue.iter_mut().find(|(t, _)| *t == b.tag) {
+                    entry.1 = entry.1.saturating_sub(b.bytes);
+                }
+            }
+        }
+        prop_assert!(mem.is_idle(), "memory never drained");
+        for (tag, remaining) in queue {
+            prop_assert_eq!(remaining, 0, "tag {} shorted", tag);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random queue-disciplined kernels: interpreter vs timed processor.
+// ---------------------------------------------------------------------
+
+use pipe_repro::core::interpret;
+use pipe_repro::workloads::{kernel_program, FpKind, Kernel, KernelOp, Src};
+
+/// Balanced op groups: each leaves the LDQ empty, so any concatenation
+/// satisfies the queue discipline by construction.
+fn arb_kernel_group() -> impl Strategy<Value = Vec<KernelOp>> {
+    let load = |s: u32, off: i16| KernelOp::Load {
+        stream: s,
+        elem_off: off,
+    };
+    prop_oneof![
+        // load; acc op; store result
+        ((0u32..7), (0i16..4)).prop_map(move |(s, off)| vec![
+            load(s, off),
+            KernelOp::Fp {
+                kind: FpKind::Add,
+                a: Src::Queue,
+                b: Src::Acc
+            },
+            KernelOp::Store { stream: (s + 1) % 7 },
+        ]),
+        // two loads; multiply; store
+        ((0u32..6), (0u32..6)).prop_map(move |(a, b)| vec![
+            load(a, 0),
+            load(b, 1),
+            KernelOp::Fp {
+                kind: FpKind::Mul,
+                a: Src::Queue,
+                b: Src::Queue
+            },
+            KernelOp::Store { stream: 6 },
+        ]),
+        // multiply-accumulate
+        ((0u32..6),).prop_map(move |(a,)| vec![
+            load(a, 0),
+            load((a + 2) % 6, 0),
+            KernelOp::Fp {
+                kind: FpKind::Sub,
+                a: Src::Queue,
+                b: Src::Queue
+            },
+            KernelOp::Fp {
+                kind: FpKind::Add,
+                a: Src::Acc,
+                b: Src::Queue
+            },
+            KernelOp::PopAcc,
+        ]),
+        // constant consumption
+        ((0u16..4),).prop_map(|(c,)| vec![
+            KernelOp::LoadConst { idx: c },
+            KernelOp::PopAcc,
+        ]),
+        // store the accumulator
+        ((0u32..7),).prop_map(|(s,)| vec![KernelOp::StoreAcc { stream: s }]),
+        Just(vec![KernelOp::Pad]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_kernels_agree_between_interpreter_and_processor(
+        groups in proptest::collection::vec(arb_kernel_group(), 1..8),
+        trips in 2u32..8,
+        pads in 3u32..8,
+        access in 1u32..=6,
+    ) {
+        let ops: Vec<KernelOp> = groups.into_iter().flatten().collect();
+        let cost: u32 = ops.iter().map(|o| o.cost()).sum();
+        let kernel = Kernel {
+            index: 99,
+            name: "fuzz",
+            ops,
+            target_instructions: cost + 3 + pads,
+        };
+        let program = kernel_program(&kernel, trips, InstrFormat::Fixed32)
+            .expect("balanced groups satisfy the discipline");
+
+        let reference = interpret(&program, 1_000_000).expect("interprets");
+        for fetch in [
+            FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
+            FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+        ] {
+            let cfg = SimConfig {
+                fetch,
+                mem: MemConfig { access_cycles: access, ..MemConfig::default() },
+                max_cycles: 50_000_000,
+                ..SimConfig::default()
+            };
+            let mut proc = Processor::new(&program, &cfg).expect("valid");
+            let stats = proc.run().expect("runs");
+            prop_assert_eq!(stats.instructions_issued, reference.instructions);
+            prop_assert_eq!(stats.fpu_ops, reference.fpu_ops);
+            prop_assert_eq!(stats.loads, reference.loads);
+            prop_assert!(proc.mem().data() == &reference.memory, "memory diverged");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-engine architectural equivalence on random ALU programs.
+// ---------------------------------------------------------------------
+
+fn arb_branchless_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Xchg),
+        (arb_alu_op(), 0u8..7, 0u8..7, 0u8..7).prop_map(|(op, rd, rs1, rs2)| Instruction::Alu {
+            op,
+            rd: Reg::new(rd),
+            rs1: Reg::new(rs1),
+            rs2: Reg::new(rs2)
+        }),
+        (arb_alu_op(), 0u8..7, 0u8..7, any::<i16>()).prop_map(|(op, rd, rs1, imm)| {
+            Instruction::AluImm {
+                op,
+                rd: Reg::new(rd),
+                rs1: Reg::new(rs1),
+                imm,
+            }
+        }),
+        (0u8..7, any::<i16>()).prop_map(|(rd, imm)| Instruction::Lim {
+            rd: Reg::new(rd),
+            imm
+        }),
+        (0u8..7, any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui {
+            rd: Reg::new(rd),
+            imm
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn engines_agree_on_random_alu_programs(
+        instrs in proptest::collection::vec(arb_branchless_instruction(), 1..120),
+        access in 1u32..=6,
+    ) {
+        let mut b = ProgramBuilder::new(InstrFormat::Fixed32);
+        b.extend(instrs.iter().copied());
+        b.push(Instruction::Halt);
+        let program = b.build().expect("builds");
+
+        let mut results: Vec<Vec<u32>> = Vec::new();
+        for fetch in [
+            FetchStrategy::Perfect,
+            FetchStrategy::Conventional(CacheConfig::new(64, 16)),
+            FetchStrategy::Pipe(PipeFetchConfig::table2(64, 16, 16, 16)),
+        ] {
+            let cfg = SimConfig {
+                fetch,
+                mem: MemConfig { access_cycles: access, ..MemConfig::default() },
+                max_cycles: 10_000_000,
+                ..SimConfig::default()
+            };
+            let mut proc = Processor::new(&program, &cfg).expect("valid");
+            let stats = proc.run().expect("runs");
+            prop_assert_eq!(stats.instructions_issued, instrs.len() as u64 + 1);
+            results.push((0..7).map(|i| proc.regs().read(Reg::new(i))).collect());
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[0], &results[2]);
+    }
+}
