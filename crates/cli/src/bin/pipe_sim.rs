@@ -19,6 +19,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.sweep.is_some() {
+        return match pipe_cli::run_sweep(&opts) {
+            Ok(table) => {
+                print!("{table}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pipe-sim: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let program = if opts.livermore {
         let suite = pipe_workloads::livermore_benchmark();
         println!(
@@ -38,12 +51,8 @@ fn main() -> ExitCode {
     };
 
     if opts.compare {
-        let rows = pipe_cli::run_comparison(
-            &program,
-            &opts.config,
-            opts.cache_bytes,
-            opts.line_bytes,
-        );
+        let rows =
+            pipe_cli::run_comparison(&program, &opts.config, opts.cache_bytes, opts.line_bytes);
         print!("{}", pipe_cli::render_comparison(&rows));
         return ExitCode::SUCCESS;
     }

@@ -12,7 +12,7 @@
 //! thin wrappers.
 
 use pipe_core::{FetchStrategy, SimConfig};
-use pipe_icache::{CacheConfig, ConvPrefetch, PipeFetchConfig, TibConfig};
+use pipe_icache::{ConvPrefetch, EngineBuilder, FetchKind};
 use pipe_isa::InstrFormat;
 use pipe_mem::{MemConfig, PriorityPolicy};
 
@@ -37,12 +37,23 @@ pub struct SimOptions {
     pub cache_bytes: u32,
     /// Raw line size from the command line (for `--compare`).
     pub line_bytes: u32,
+    /// Run one of the paper's figure sweeps ("4a".."6b") instead of a
+    /// single program.
+    pub sweep: Option<String>,
+    /// Worker threads for `--sweep`.
+    pub jobs: usize,
+    /// With `--sweep`, load previously stored points instead of
+    /// re-simulating them.
+    pub resume: bool,
+    /// Result-store root directory for `--sweep` (default `results`).
+    pub store_dir: Option<String>,
 }
 
 /// The usage string for `pipe-sim`.
 pub const SIM_USAGE: &str = "\
 usage: pipe-sim <program.s> [options]
        pipe-sim --livermore [options]
+       pipe-sim --sweep 4a|4b|5a|5b|6a|6b [--jobs N] [--resume] [--store DIR]
 
 fetch strategy:
   --fetch pipe|conventional|tib|buffers|perfect   (default: pipe)
@@ -66,11 +77,18 @@ other:
   --json               emit statistics as JSON
   --compare            run on every fetch strategy and compare
   --max-cycles N       abort after N cycles
+
+sweep mode (parallel experiment engine):
+  --sweep ID           reproduce a paper figure panel (4a..6b)
+  --jobs N             worker threads (cycle counts identical to serial)
+  --resume             skip points already in the result store
+  --store DIR          result-store root             (default: results)
 ";
 
 fn parse_num(flag: &str, value: Option<&String>) -> Result<u32, String> {
     let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
-    v.parse().map_err(|_| format!("{flag}: invalid number `{v}`"))
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid number `{v}`"))
 }
 
 /// Parses `pipe-sim` arguments (excluding the program name).
@@ -94,6 +112,10 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
     let mut json = false;
     let mut compare = false;
     let mut max_cycles = 500_000_000u64;
+    let mut sweep = None;
+    let mut jobs = 1usize;
+    let mut resume = false;
+    let mut store_dir = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -134,6 +156,18 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
             "--max-cycles" => {
                 max_cycles = u64::from(parse_num("--max-cycles", it.next())?);
             }
+            "--sweep" => {
+                let id = it.next().ok_or("--sweep needs a figure id")?.clone();
+                if !pipe_experiments::ALL_FIGURES.contains(&id.as_str()) {
+                    return Err(format!("--sweep: unknown figure `{id}`"));
+                }
+                sweep = Some(id);
+            }
+            "--jobs" => jobs = parse_num("--jobs", it.next())? as usize,
+            "--resume" => resume = true,
+            "--store" => {
+                store_dir = Some(it.next().ok_or("--store needs a directory")?.clone());
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             path => {
                 if input.is_some() {
@@ -144,36 +178,31 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
         }
     }
 
-    if input.is_none() && !livermore {
-        return Err("no input program (give a file or --livermore)".into());
+    if sweep.is_some() && (input.is_some() || livermore) {
+        return Err("--sweep conflicts with an input program".into());
+    }
+    if sweep.is_none() && input.is_none() && !livermore {
+        return Err("no input program (give a file, --livermore, or --sweep)".into());
     }
     if input.is_some() && livermore {
         return Err("--livermore conflicts with an input file".into());
     }
 
-    let fetch = match fetch_kind.as_str() {
-        "perfect" => FetchStrategy::Perfect,
-        "conventional" => {
-            let cc = CacheConfig::new(cache, line);
-            if prefetch == ConvPrefetch::Always {
-                FetchStrategy::Conventional(cc)
-            } else {
-                FetchStrategy::ConventionalPrefetch(cc, prefetch)
-            }
-        }
-        "pipe" => FetchStrategy::Pipe(PipeFetchConfig::table2(
-            cache,
-            line,
-            iq.unwrap_or(line),
-            iqb.unwrap_or(line),
-        )),
-        "tib" => FetchStrategy::Tib(TibConfig::with_budget(cache, line)),
-        "buffers" => FetchStrategy::Buffers(pipe_icache::BufferConfig {
-            buffers: iq.unwrap_or(4),
-            cache: (cache > 0).then(|| CacheConfig::new(cache, line)),
-        }),
-        other => return Err(format!("--fetch: unknown strategy `{other}`")),
-    };
+    let kind = FetchKind::parse(&fetch_kind)
+        .ok_or_else(|| format!("--fetch: unknown strategy `{fetch_kind}`"))?;
+    let mut builder = EngineBuilder::new(kind)
+        .cache_bytes(cache)
+        .line_bytes(line)
+        .prefetch(prefetch)
+        .buffers(iq.unwrap_or(4))
+        .buffer_cache(cache > 0);
+    if let Some(iq) = iq {
+        builder = builder.iq_bytes(iq);
+    }
+    if let Some(iqb) = iqb {
+        builder = builder.iqb_bytes(iqb);
+    }
+    let fetch = builder.config().map_err(|e| e.to_string())?;
 
     let config = SimConfig {
         fetch,
@@ -181,7 +210,7 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
         max_cycles,
         ..SimConfig::default()
     };
-    config.validate()?;
+    config.validate().map_err(|e| e.to_string())?;
 
     Ok(SimOptions {
         input,
@@ -193,7 +222,32 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
         compare,
         cache_bytes: cache,
         line_bytes: line,
+        sweep,
+        jobs,
+        resume,
+        store_dir,
     })
+}
+
+/// Runs a `--sweep` figure reproduction on the parallel sweep engine and
+/// returns the rendered table.
+///
+/// # Errors
+///
+/// Returns a user-facing message if the result store cannot be opened.
+pub fn run_sweep(opts: &SimOptions) -> Result<String, String> {
+    let id = opts.sweep.as_deref().expect("sweep mode");
+    let mut runner = pipe_experiments::SweepRunner::new()
+        .jobs(opts.jobs)
+        .progress(true);
+    if opts.resume || opts.store_dir.is_some() {
+        let root = std::path::PathBuf::from(opts.store_dir.as_deref().unwrap_or("results"));
+        let store = pipe_experiments::ResultStore::open(&root)
+            .map_err(|e| format!("cannot open result store {}: {e}", root.display()))?;
+        runner = runner.store(store).resume(opts.resume);
+    }
+    let fig = pipe_experiments::figure_with(id, &runner);
+    Ok(pipe_experiments::render_text(&fig))
 }
 
 /// Serializes run statistics as a JSON object (hand-rolled; the stats are
@@ -241,16 +295,16 @@ pub fn run_comparison(
     cache: u32,
     line: u32,
 ) -> Vec<(String, pipe_core::SimStats)> {
-    let strategies: Vec<FetchStrategy> = vec![
-        FetchStrategy::Perfect,
-        FetchStrategy::Conventional(CacheConfig::new(cache.max(line), line)),
-        FetchStrategy::Pipe(PipeFetchConfig::table2(cache.max(line), line, line, line)),
-        FetchStrategy::Tib(TibConfig::with_budget(cache.max(line), line)),
-        FetchStrategy::Buffers(pipe_icache::BufferConfig {
-            buffers: 4,
-            cache: None,
-        }),
-    ];
+    let strategies: Vec<FetchStrategy> = FetchKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            EngineBuilder::new(kind)
+                .cache_bytes(cache.max(line))
+                .line_bytes(line)
+                .config()
+                .ok()
+        })
+        .collect();
     strategies
         .into_iter()
         .filter_map(|fetch| {
@@ -273,7 +327,11 @@ pub fn render_comparison(rows: &[(String, pipe_core::SimStats)]) -> String {
     for (label, s) in rows {
         out.push_str(&format!(
             "{:<38} {:>9}  {:>5.2}  {:>12}  {:>13}\n",
-            label, s.cycles, s.cpi(), s.stalls.ifetch, s.fetch.bytes_requested
+            label,
+            s.cycles,
+            s.cpi(),
+            s.stalls.ifetch,
+            s.fetch.bytes_requested
         ));
     }
     out
@@ -396,7 +454,9 @@ mod tests {
         ))
         .unwrap();
         assert!(o.livermore);
-        assert!(matches!(o.config.fetch, FetchStrategy::Conventional(c) if c.size_bytes == 64));
+        assert!(
+            matches!(o.config.fetch, FetchStrategy::Conventional(c) if c.cache.size_bytes == 64)
+        );
         assert_eq!(o.config.mem.access_cycles, 6);
         assert_eq!(o.config.mem.in_bus_bytes, 8);
         assert!(o.config.mem.pipelined);
@@ -421,7 +481,7 @@ mod tests {
         let o = parse_sim_args(&args("p.s --fetch conventional --prefetch tagged")).unwrap();
         assert!(matches!(
             o.config.fetch,
-            FetchStrategy::ConventionalPrefetch(_, ConvPrefetch::Tagged)
+            FetchStrategy::Conventional(c) if c.prefetch == ConvPrefetch::Tagged
         ));
     }
 

@@ -30,7 +30,11 @@ fn pipe_asm() -> Command {
 fn sim_runs_a_program() {
     let src = write_temp("run.s", PROGRAM);
     let out = pipe_sim().arg(&src).output().expect("spawn pipe-sim");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("instructions:  13"), "{stdout}");
 }
@@ -95,10 +99,18 @@ fn asm_binary_roundtrips_through_sim() {
         .args([src.to_str().unwrap(), "-o", bin.to_str().unwrap()])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = pipe_sim().arg(&bin).output().expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("instructions:  13"), "{stdout}");
 }

@@ -1,60 +1,16 @@
 //! Simulation configuration.
+//!
+//! The fetch front-end is described by `pipe-icache`'s unified
+//! [`FetchConfig`](pipe_icache::FetchConfig), re-exported here under its
+//! historical name [`FetchStrategy`]. All engine construction goes through
+//! [`FetchStrategy::build`] (directly or via `pipe_icache::EngineBuilder`);
+//! the processor no longer knows the individual engine constructors.
 
-use std::fmt;
+use pipe_icache::PipeFetchConfig;
+use pipe_mem::error::require_at_least;
+use pipe_mem::{ConfigError, MemConfig};
 
-use pipe_icache::{BufferConfig, CacheConfig, ConvPrefetch, PipeFetchConfig, TibConfig};
-use pipe_mem::MemConfig;
-
-/// Which instruction-fetch front-end to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FetchStrategy {
-    /// Perfect fetch: one instruction per cycle, no memory traffic. For
-    /// functional testing and upper-bound comparisons.
-    Perfect,
-    /// Hill's always-prefetch conventional cache (paper §4.1).
-    Conventional(CacheConfig),
-    /// A conventional cache with one of Hill's alternative prefetch
-    /// strategies (on-miss-only, tagged).
-    ConventionalPrefetch(CacheConfig, ConvPrefetch),
-    /// The PIPE cache + IQ + IQB strategy (paper §4.2).
-    Pipe(PipeFetchConfig),
-    /// A cache-less Target Instruction Buffer (paper §2.1, AMD29000
-    /// style).
-    Tib(TibConfig),
-    /// Rau & Rossman-style prefetch buffers with an optional instruction
-    /// cache (paper §2.1).
-    Buffers(BufferConfig),
-}
-
-impl FetchStrategy {
-    /// A short name for reports.
-    pub fn label(&self) -> String {
-        match self {
-            FetchStrategy::Perfect => "perfect".to_string(),
-            FetchStrategy::Conventional(c) => format!("conventional({}B)", c.size_bytes),
-            FetchStrategy::ConventionalPrefetch(c, p) => {
-                format!("conventional({}B, {p})", c.size_bytes)
-            }
-            FetchStrategy::Pipe(c) => format!(
-                "pipe({}B, line {}, iq {}, iqb {})",
-                c.cache.size_bytes, c.cache.line_bytes, c.iq_bytes, c.iqb_bytes
-            ),
-            FetchStrategy::Tib(c) => {
-                format!("tib({}x{}B)", c.entries, c.entry_bytes)
-            }
-            FetchStrategy::Buffers(c) => match c.cache {
-                Some(cache) => format!("buffers({}x4B + {}B cache)", c.buffers, cache.size_bytes),
-                None => format!("buffers({}x4B)", c.buffers),
-            },
-        }
-    }
-}
-
-impl fmt::Display for FetchStrategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.label())
-    }
-}
+pub use pipe_icache::FetchConfig as FetchStrategy;
 
 /// Full simulation configuration: memory system, fetch strategy, and the
 /// architectural queue capacities.
@@ -81,33 +37,20 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message for invalid memory/fetch parameters or zero queue
-    /// capacities.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] for invalid memory/fetch parameters or
+    /// zero queue capacities.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.mem.validate()?;
-        match &self.fetch {
-            FetchStrategy::Perfect => {}
-            FetchStrategy::Conventional(c) | FetchStrategy::ConventionalPrefetch(c, _) => {
-                c.validate()?
-            }
-            FetchStrategy::Pipe(c) => c.validate()?,
-            FetchStrategy::Tib(c) => c.validate()?,
-            FetchStrategy::Buffers(c) => c.validate()?,
-        }
+        self.fetch.validate()?;
         for (name, v) in [
             ("laq_entries", self.laq_entries),
             ("ldq_entries", self.ldq_entries),
             ("saq_entries", self.saq_entries),
             ("sdq_entries", self.sdq_entries),
         ] {
-            if v == 0 {
-                return Err(format!("{name} must be positive"));
-            }
+            require_at_least(name, v as u64, 1)?;
         }
-        if self.max_cycles == 0 {
-            return Err("max_cycles must be positive".into());
-        }
-        Ok(())
+        require_at_least("max_cycles", self.max_cycles, 1)
     }
 }
 
@@ -131,6 +74,7 @@ impl Default for SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipe_icache::CacheConfig;
 
     #[test]
     fn default_matches_chip() {
@@ -149,15 +93,24 @@ mod tests {
 
     #[test]
     fn validation_catches_zero_queues() {
-        let mut c = SimConfig::default();
-        c.ldq_entries = 0;
-        assert!(c.validate().is_err());
+        let c = SimConfig {
+            ldq_entries: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TooSmall {
+                field: "ldq_entries",
+                value: 0,
+                min: 1,
+            })
+        );
     }
 
     #[test]
     fn labels() {
         assert_eq!(FetchStrategy::Perfect.label(), "perfect");
-        assert!(FetchStrategy::Conventional(CacheConfig::new(64, 16))
+        assert!(FetchStrategy::conventional(CacheConfig::new(64, 16))
             .label()
             .contains("64"));
     }

@@ -258,7 +258,10 @@ impl Interpreter {
             }
             Instruction::Load { base, disp } => {
                 let addr = read_src(self, base)?.wrapping_add(disp as i32 as u32);
-                let seq = self.ldq.alloc().expect("interpreter queue sized generously");
+                let seq = self
+                    .ldq
+                    .alloc()
+                    .expect("interpreter queue sized generously");
                 let value = self.memory.read(addr);
                 self.ldq.fill(seq, value);
                 self.result.loads += 1;
@@ -270,7 +273,10 @@ impl Interpreter {
                 if pipe_isa::is_fpu_address(addr)
                     && FpOp::from_offset(addr - pipe_isa::FPU_BASE).is_some()
                 {
-                    let seq = self.ldq.alloc().expect("interpreter queue sized generously");
+                    let seq = self
+                        .ldq
+                        .alloc()
+                        .expect("interpreter queue sized generously");
                     self.fpu_slots.push_back(seq);
                     self.result.fpu_ops += 1;
                 }

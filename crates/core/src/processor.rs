@@ -24,14 +24,12 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
-use pipe_icache::{
-    BufferFetch, ConventionalFetch, FetchEngine, PerfectFetch, PipeFetch, TibFetch,
-};
+use pipe_icache::FetchEngine;
 use pipe_isa::decode::DecodeError;
 use pipe_isa::{decode, Instruction, Program, Reg};
-use pipe_mem::{BeatSource, FpOp, MemRequest, MemorySystem, ReqClass};
+use pipe_mem::{BeatSource, ConfigError, FpOp, MemRequest, MemorySystem, ReqClass};
 
-use crate::config::{FetchStrategy, SimConfig};
+use crate::config::SimConfig;
 use crate::queues::{AddressQueue, LoadQueue};
 use crate::regfile::{BranchRegFile, RegFile};
 use crate::stats::SimStats;
@@ -41,7 +39,7 @@ use crate::trace::{StallReason, TraceEvent, TraceSink};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The configuration failed validation.
-    Config(String),
+    Config(ConfigError),
     /// The fetch stream produced an undecodable instruction.
     Decode(DecodeError),
     /// `max_cycles` elapsed before the program halted and drained — almost
@@ -56,7 +54,7 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
             SimError::Decode(e) => write!(f, "instruction decode failed: {e}"),
             SimError::Timeout { cycles } => {
                 write!(f, "simulation did not complete within {cycles} cycles")
@@ -70,6 +68,12 @@ impl Error for SimError {}
 impl From<DecodeError> for SimError {
     fn from(e: DecodeError) -> SimError {
         SimError::Decode(e)
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
     }
 }
 
@@ -132,21 +136,10 @@ impl Processor {
     ///
     /// Returns [`SimError::Config`] if the configuration fails validation.
     pub fn new(program: &Program, config: &SimConfig) -> Result<Processor, SimError> {
-        config.validate().map_err(SimError::Config)?;
+        config.validate()?;
         let mut mem = MemorySystem::new(config.mem.clone());
         mem.data_mut().extend(program.data().iter().copied());
-        let fetch: Box<dyn FetchEngine> = match config.fetch {
-            FetchStrategy::Perfect => Box::new(PerfectFetch::new(program)),
-            FetchStrategy::Conventional(cache) => {
-                Box::new(ConventionalFetch::new(program, cache))
-            }
-            FetchStrategy::ConventionalPrefetch(cache, mode) => {
-                Box::new(ConventionalFetch::with_prefetch(program, cache, mode))
-            }
-            FetchStrategy::Pipe(cfg) => Box::new(PipeFetch::new(program, cfg)),
-            FetchStrategy::Tib(cfg) => Box::new(TibFetch::new(program, cfg)),
-            FetchStrategy::Buffers(cfg) => Box::new(BufferFetch::new(program, cfg)),
-        };
+        let fetch = config.fetch.build(program)?;
         Ok(Processor {
             config: config.clone(),
             mem,
@@ -271,9 +264,7 @@ impl Processor {
         };
         if load_is_older {
             let l = laq_head.expect("load head exists");
-            let tag = *self
-                .laq_front_tag
-                .get_or_insert_with(|| self.mem.new_tag());
+            let tag = *self.laq_front_tag.get_or_insert_with(|| self.mem.new_tag());
             self.mem
                 .offer(MemRequest::load(ReqClass::DataLoad, l.value, 4, tag));
         } else if let (Some(s), Some(&value)) = (saq_head, self.sdq.front()) {
@@ -584,6 +575,7 @@ pub fn run_program(program: &Program, config: &SimConfig) -> Result<SimStats, Si
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FetchStrategy;
     use pipe_icache::{CacheConfig, PipeFetchConfig};
     use pipe_isa::{Assembler, InstrFormat};
     use pipe_mem::MemConfig;
@@ -751,7 +743,7 @@ mod tests {
         let expected_instrs = 2 + 20 * 6 + 1;
         for fetch in [
             FetchStrategy::Perfect,
-            FetchStrategy::Conventional(CacheConfig::new(64, 16)),
+            FetchStrategy::conventional(CacheConfig::new(64, 16)),
             FetchStrategy::Pipe(PipeFetchConfig::table2(64, 16, 16, 16)),
             FetchStrategy::Pipe(PipeFetchConfig::table2(32, 32, 16, 32)),
         ] {
@@ -789,7 +781,7 @@ mod tests {
         let mut results = Vec::new();
         for fetch in [
             FetchStrategy::Perfect,
-            FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+            FetchStrategy::conventional(CacheConfig::new(32, 16)),
             FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
         ] {
             let cfg = SimConfig {
@@ -802,7 +794,9 @@ mod tests {
             };
             let mut proc = Processor::new(&p, &cfg).unwrap();
             proc.run().unwrap();
-            let mem_words: Vec<u32> = (0..8).map(|i| proc.mem().data().read(0x200 + i * 4)).collect();
+            let mem_words: Vec<u32> = (0..8)
+                .map(|i| proc.mem().data().read(0x200 + i * 4))
+                .collect();
             results.push(mem_words);
         }
         assert_eq!(results[0], vec![0, 3, 6, 9, 12, 15, 18, 21]);
@@ -828,7 +822,7 @@ mod tests {
         let conv = run_program(
             &p,
             &SimConfig {
-                fetch: FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+                fetch: FetchStrategy::conventional(CacheConfig::new(32, 16)),
                 mem: slow.clone(),
                 ..SimConfig::default()
             },
@@ -882,9 +876,7 @@ mod tests {
             ("pbr.ltz", -1, 1),
             ("pbr.never", 0, 0),
         ] {
-            let src = format!(
-                "lim r1, {init}\nlbr b0, out\n{cond} b0, r1, 0\nnop\nout: halt\n"
-            );
+            let src = format!("lim r1, {init}\nlbr b0, out\n{cond} b0, r1, 0\nnop\nout: halt\n");
             let stats = run(&src, &perfect_config());
             assert_eq!(stats.branches_taken, expect_taken, "{cond}");
             // Taken skips the nop; not-taken executes it.
@@ -933,7 +925,7 @@ mod tests {
         let p = asm(src);
         let perfect = run_program(&p, &perfect_config()).unwrap();
         for fetch in [
-            FetchStrategy::Conventional(CacheConfig::new(64, 16)),
+            FetchStrategy::conventional(CacheConfig::new(64, 16)),
             FetchStrategy::Pipe(PipeFetchConfig::table2(64, 16, 16, 16)),
         ] {
             let stats = run_program(

@@ -316,7 +316,10 @@ mod tests {
         }); // still charged to a
         p.event(&issue(2, 0x24)); // region b
         p.event(&issue(3, 0x100)); // outside
-        let results: Vec<_> = p.results().map(|(r, c, i)| (r.name.clone(), c, i)).collect();
+        let results: Vec<_> = p
+            .results()
+            .map(|(r, c, i)| (r.name.clone(), c, i))
+            .collect();
         assert_eq!(results[0], ("a".into(), 2, 1));
         assert_eq!(results[1], ("b".into(), 1, 1));
         assert_eq!(p.other_cycles(), 1);

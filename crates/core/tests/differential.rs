@@ -2,7 +2,9 @@
 //! processor must agree on all architectural outcomes.
 
 use pipe_core::{interpret, FetchStrategy, Processor, SimConfig};
-use pipe_icache::{BufferConfig, CacheConfig, ConvPrefetch, PipeFetchConfig, TibConfig};
+use pipe_icache::{
+    BufferConfig, CacheConfig, ConvPrefetch, ConventionalConfig, PipeFetchConfig, TibConfig,
+};
 use pipe_isa::{Assembler, InstrFormat, Program, Reg};
 use pipe_mem::MemConfig;
 
@@ -49,9 +51,15 @@ fn agree(program: &Program, fetches: &[FetchStrategy], access: u32) {
 fn all_engines() -> Vec<FetchStrategy> {
     vec![
         FetchStrategy::Perfect,
-        FetchStrategy::Conventional(CacheConfig::new(32, 16)),
-        FetchStrategy::ConventionalPrefetch(CacheConfig::new(32, 16), ConvPrefetch::OnMissOnly),
-        FetchStrategy::ConventionalPrefetch(CacheConfig::new(32, 16), ConvPrefetch::Tagged),
+        FetchStrategy::conventional(CacheConfig::new(32, 16)),
+        FetchStrategy::Conventional(ConventionalConfig {
+            cache: CacheConfig::new(32, 16),
+            prefetch: ConvPrefetch::OnMissOnly,
+        }),
+        FetchStrategy::Conventional(ConventionalConfig {
+            cache: CacheConfig::new(32, 16),
+            prefetch: ConvPrefetch::Tagged,
+        }),
         FetchStrategy::Pipe(PipeFetchConfig::table2(32, 8, 8, 8)),
         FetchStrategy::Pipe(PipeFetchConfig::table2(64, 32, 16, 32)),
         FetchStrategy::Pipe(PipeFetchConfig {
@@ -120,7 +128,8 @@ fn differential_store_load_fpu_chain() {
 
 #[test]
 fn differential_mixed_format() {
-    let src = "lim r1, 6\nlbr b0, top\ntop: add r2, r2, r1\nsubi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n";
+    let src =
+        "lim r1, 6\nlbr b0, top\ntop: add r2, r2, r1\nsubi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n";
     let p = Assembler::new(InstrFormat::Mixed).assemble(src).unwrap();
     agree(&p, &all_engines(), 2);
 }

@@ -11,7 +11,11 @@ use pipe_icache::PipeFetchConfig;
 use pipe_isa::{Assembler, InstrFormat};
 use pipe_mem::MemConfig;
 
-fn traced_run(src: &str, fetch: FetchStrategy, access: u32) -> (Vec<TraceEvent>, pipe_core::SimStats) {
+fn traced_run(
+    src: &str,
+    fetch: FetchStrategy,
+    access: u32,
+) -> (Vec<TraceEvent>, pipe_core::SimStats) {
     let program = Assembler::new(InstrFormat::Fixed32).assemble(src).unwrap();
     let cfg = SimConfig {
         fetch,
@@ -29,7 +33,8 @@ fn traced_run(src: &str, fetch: FetchStrategy, access: u32) -> (Vec<TraceEvent>,
     (events, stats)
 }
 
-const LOOP_SRC: &str = "lim r1, 3\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 1\nnop\nhalt\n";
+const LOOP_SRC: &str =
+    "lim r1, 3\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 1\nnop\nhalt\n";
 
 #[test]
 fn every_prehalt_cycle_has_an_issue_or_stall() {
@@ -125,7 +130,10 @@ fn region_profiler_splits_loop_from_prologue() {
     let stats = proc.run().unwrap();
 
     let p = profiler.borrow();
-    let results: Vec<_> = p.results().map(|(r, c, i)| (r.name.clone(), c, i)).collect();
+    let results: Vec<_> = p
+        .results()
+        .map(|(r, c, i)| (r.name.clone(), c, i))
+        .collect();
     assert_eq!(results[0].2, 2, "prologue instructions");
     assert_eq!(
         results[0].2 + results[1].2,

@@ -4,17 +4,27 @@
 //! repro [--all] [--table1] [--table2] [--fig4a ... --fig6b]
 //!       [--ablation-access] [--ablation-priority] [--ablation-prefetch]
 //!       [--ablation-format] [--check] [--csv-dir DIR]
+//!       [--jobs N] [--resume] [--store DIR] [--progress]
 //! ```
 //!
 //! With no arguments, runs everything except the ablations. `--check`
 //! verifies the paper's qualitative expectations and exits nonzero on a
 //! violation. `--csv-dir` additionally writes one CSV per figure.
+//!
+//! The figure sweeps run on the parallel sweep engine: `--jobs N` spreads
+//! the points over N worker threads (cycle counts are bit-identical to a
+//! serial run), `--store DIR` persists every measured point to a
+//! content-addressed store under DIR (default `results/`), and
+//! `--resume` loads previously stored points instead of re-simulating
+//! them. `--progress` prints one line per point with its wall time.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pipe_experiments::figures::{ablation, figure, Figure, ALL_ABLATIONS, ALL_FIGURES};
+use pipe_experiments::figures::{ablation, figure_with, Figure, ALL_ABLATIONS, ALL_FIGURES};
 use pipe_experiments::report::{check_expectations, render_csv, render_text};
+use pipe_experiments::store::ResultStore;
+use pipe_experiments::sweep::SweepRunner;
 use pipe_experiments::tables::{render_table1, render_table2};
 
 struct Options {
@@ -26,6 +36,10 @@ struct Options {
     check: bool,
     csv_dir: Option<PathBuf>,
     svg_dir: Option<PathBuf>,
+    jobs: usize,
+    resume: bool,
+    store: Option<PathBuf>,
+    progress: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -38,6 +52,10 @@ fn parse_args() -> Result<Options, String> {
         check: false,
         csv_dir: None,
         svg_dir: None,
+        jobs: 1,
+        resume: false,
+        store: None,
+        progress: false,
     };
     let mut any = false;
     let mut args = std::env::args().skip(1);
@@ -68,6 +86,18 @@ fn parse_args() -> Result<Options, String> {
                 any = true;
             }
             "--check" => opts.check = true,
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a count")?;
+                opts.jobs = n
+                    .parse()
+                    .map_err(|_| format!("--jobs: invalid count `{n}`"))?;
+            }
+            "--resume" => opts.resume = true,
+            "--store" => {
+                let dir = args.next().ok_or("--store needs a directory")?;
+                opts.store = Some(PathBuf::from(dir));
+            }
+            "--progress" => opts.progress = true,
             "--csv-dir" => {
                 let dir = args.next().ok_or("--csv-dir needs a directory")?;
                 opts.csv_dir = Some(PathBuf::from(dir));
@@ -142,6 +172,21 @@ fn main() -> ExitCode {
 
     let mut violations = Vec::new();
 
+    let mut runner = SweepRunner::new().jobs(opts.jobs).progress(opts.progress);
+    if opts.resume || opts.store.is_some() {
+        let root = opts
+            .store
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results"));
+        match ResultStore::open(&root) {
+            Ok(store) => runner = runner.store(store).resume(opts.resume),
+            Err(e) => {
+                eprintln!("repro: cannot open result store {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     for t in &opts.tables {
         match *t {
             "1" => println!("{}", render_table1()),
@@ -151,7 +196,7 @@ fn main() -> ExitCode {
     }
 
     for id in &opts.figures {
-        let fig = figure(id);
+        let fig = figure_with(id, &runner);
         emit(&fig, &opts, &mut violations);
     }
 
@@ -213,12 +258,7 @@ fn main() -> ExitCode {
         let rows = access_sweep_study(&suite, 32, 8, &[1, 2, 3, 4, 5, 6, 8]);
         println!("{}", render_access_study(&rows, 32));
         use pipe_experiments::studies::{external_cache_study, render_ext_cache_study};
-        let rows = external_cache_study(
-            &suite,
-            &mem,
-            20,
-            &[4096, 16384, 65536, 262144],
-        );
+        let rows = external_cache_study(&suite, &mem, 20, &[4096, 16384, 65536, 262144]);
         println!("{}", render_ext_cache_study(&rows, 20));
     }
 

@@ -6,7 +6,8 @@ use pipe_mem::{MemConfig, PriorityPolicy};
 use pipe_workloads::LivermoreSuite;
 
 use crate::matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
-use crate::runner::{run_point, ExperimentPoint};
+use crate::runner::ExperimentPoint;
+use crate::sweep::{SweepRunner, SweepSpec, WorkloadSpec};
 
 /// One curve of a figure: a strategy swept over cache sizes.
 #[derive(Debug, Clone)]
@@ -82,47 +83,54 @@ pub fn figure_mem(id: &str) -> (MemConfig, &'static str) {
     }
 }
 
-/// Sweeps all five strategies over the cache sizes under `mem`.
+/// Sweeps all five strategies over the cache sizes under `mem`. This is
+/// the serial entry point; it delegates to the [`SweepRunner`] engine
+/// (one worker, no store), so the serial and parallel paths are the same
+/// code.
 pub fn sweep(
     suite: &LivermoreSuite,
     mem: &MemConfig,
     policy: PrefetchPolicy,
     strategies: &[StrategyKind],
 ) -> Vec<Series> {
-    strategies
-        .iter()
-        .map(|&kind| {
-            let points = sweep_sizes()
-                .iter()
-                .filter_map(|&size| {
-                    kind.fetch_for(size, policy)
-                        .map(|fetch| run_point(suite.program(), fetch, mem, size))
-                })
-                .collect();
-            Series {
-                label: kind.label().to_string(),
-                kind,
-                points,
-            }
-        })
-        .collect()
+    let spec = SweepSpec {
+        id: "sweep".to_string(),
+        strategies: strategies.to_vec(),
+        cache_sizes: sweep_sizes().to_vec(),
+        mem: mem.clone(),
+        policy,
+        workload: WorkloadSpec::Livermore {
+            format: suite.program().format(),
+            scale: 1,
+        },
+    };
+    SweepRunner::new().run(&spec).series
 }
 
-/// Reproduces one of the paper's figure panels.
+/// Reproduces one of the paper's figure panels using `runner` for
+/// execution (worker count, result store, progress).
+///
+/// # Panics
+///
+/// Panics on an unknown id; valid ids are listed in [`ALL_FIGURES`].
+pub fn figure_with(id: &str, runner: &SweepRunner) -> Figure {
+    let (mem, title) = figure_mem(id);
+    let outcome = runner.run(&SweepSpec::figure(id));
+    Figure {
+        id: format!("fig{id}"),
+        title: format!("Figure {id}: {title}"),
+        mem,
+        series: outcome.series,
+    }
+}
+
+/// Reproduces one of the paper's figure panels serially.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id; valid ids are listed in [`ALL_FIGURES`].
 pub fn figure(id: &str) -> Figure {
-    let suite = pipe_workloads::livermore_benchmark();
-    let (mem, title) = figure_mem(id);
-    let series = sweep(&suite, &mem, PrefetchPolicy::TruePrefetch, &ALL_STRATEGIES);
-    Figure {
-        id: format!("fig{id}"),
-        title: format!("Figure {id}: {title}"),
-        mem,
-        series,
-    }
+    figure_with(id, &SweepRunner::new())
 }
 
 /// Runs one of the ablation studies (see [`ALL_ABLATIONS`]):
@@ -153,9 +161,7 @@ pub fn ablation(id: &str) -> Vec<Figure> {
                 let mem = mem_for(access, 8, false);
                 Figure {
                     id: format!("ablation-access{access}"),
-                    title: format!(
-                        "ablation: {access}-cycle memory, non-pipelined, 8-byte bus"
-                    ),
+                    title: format!("ablation: {access}-cycle memory, non-pipelined, 8-byte bus"),
                     series: sweep(&suite, &mem, PrefetchPolicy::TruePrefetch, &ALL_STRATEGIES),
                     mem,
                 }
@@ -183,10 +189,8 @@ pub fn ablation(id: &str) -> Vec<Figure> {
         .iter()
         .map(|&(policy, name)| {
             let mem = mem_for(6, 8, false);
-            let pipes: Vec<StrategyKind> = ALL_STRATEGIES
-                .into_iter()
-                .filter(|s| s.is_pipe())
-                .collect();
+            let pipes: Vec<StrategyKind> =
+                ALL_STRATEGIES.into_iter().filter(|s| s.is_pipe()).collect();
             Figure {
                 id: format!("ablation-prefetch-{name}"),
                 title: format!("ablation: {name} off-chip policy, 6-cycle memory, 8-byte bus"),
@@ -220,7 +224,9 @@ pub fn ablation(id: &str) -> Vec<Figure> {
                 let mem = mem_for(6, 8, false);
                 Figure {
                     id: format!("ablation-format-{format}").replace('/', "-"),
-                    title: format!("ablation: {format} instruction format, 6-cycle memory, 8-byte bus"),
+                    title: format!(
+                        "ablation: {format} instruction format, 6-cycle memory, 8-byte bus"
+                    ),
                     series: sweep(&fsuite, &mem, PrefetchPolicy::TruePrefetch, &ALL_STRATEGIES),
                     mem,
                 }
@@ -237,7 +243,10 @@ mod tests {
     #[test]
     fn figure_mem_parameters() {
         let (m, _) = figure_mem("4a");
-        assert_eq!((m.access_cycles, m.in_bus_bytes, m.pipelined), (1, 4, false));
+        assert_eq!(
+            (m.access_cycles, m.in_bus_bytes, m.pipelined),
+            (1, 4, false)
+        );
         let (m, _) = figure_mem("6b");
         assert_eq!((m.access_cycles, m.in_bus_bytes, m.pipelined), (6, 8, true));
         let (a, _) = figure_mem("5b");

@@ -25,13 +25,17 @@ pub mod matrix;
 pub mod profile;
 pub mod report;
 pub mod runner;
+pub mod store;
 pub mod studies;
 pub mod svg;
+pub mod sweep;
 pub mod tables;
 
-pub use figures::{ablation, figure, Figure, Series, ALL_ABLATIONS, ALL_FIGURES};
+pub use figures::{ablation, figure, figure_with, Figure, Series, ALL_ABLATIONS, ALL_FIGURES};
 pub use matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
 pub use profile::{per_loop_profile, render_profile, LoopProfile, LoopShare};
 pub use report::{check_expectations, render_csv, render_text};
 pub use runner::{run_point, ExperimentPoint};
+pub use store::{fnv1a64, ResultStore, StoredPoint};
 pub use svg::render_figure_svg;
+pub use sweep::{PointOutcome, SweepJob, SweepOutcome, SweepRunner, SweepSpec, WorkloadSpec};

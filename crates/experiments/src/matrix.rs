@@ -85,15 +85,14 @@ impl StrategyKind {
         }
         Some(match self {
             StrategyKind::Conventional => {
-                FetchStrategy::Conventional(CacheConfig::new(cache_bytes, self.line_bytes()))
+                FetchStrategy::conventional(CacheConfig::new(cache_bytes, self.line_bytes()))
             }
             StrategyKind::Tib16 => {
                 FetchStrategy::Tib(TibConfig::with_budget(cache_bytes, self.line_bytes()))
             }
             _ => {
                 let (iq, iqb) = self.queue_bytes().expect("pipe strategy");
-                let mut cfg =
-                    PipeFetchConfig::table2(cache_bytes, self.line_bytes(), iq, iqb);
+                let mut cfg = PipeFetchConfig::table2(cache_bytes, self.line_bytes(), iq, iqb);
                 cfg.policy = policy;
                 FetchStrategy::Pipe(cfg)
             }

@@ -199,7 +199,10 @@ mod tests {
     fn pipe_losing_is_flagged() {
         let fig = fake_figure(&[(16, 500)], &[(16, 900)], 6);
         let v = check_expectations(&fig);
-        assert!(v.iter().any(|m| m.contains("loses to conventional")), "{v:?}");
+        assert!(
+            v.iter().any(|m| m.contains("loses to conventional")),
+            "{v:?}"
+        );
     }
 
     #[test]

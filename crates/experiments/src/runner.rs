@@ -55,7 +55,7 @@ mod tests {
         let p = tight_loop(4, 20, InstrFormat::Fixed32);
         let point = run_point(
             &p,
-            FetchStrategy::Conventional(CacheConfig::new(64, 16)),
+            FetchStrategy::conventional(CacheConfig::new(64, 16)),
             &MemConfig::default(),
             64,
         );

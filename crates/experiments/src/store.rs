@@ -1,0 +1,319 @@
+//! Content-addressed, versioned storage of sweep results.
+//!
+//! Each measured experiment point persists as one small JSON file at
+//! `<root>/store/v1/<hash>.json`, where `<hash>` is the FNV-1a 64-bit
+//! digest of the point's canonical configuration key (see
+//! [`crate::sweep::SweepJob::cache_key`]). The key covers every parameter
+//! that affects the simulation — workload, memory timing, fetch geometry,
+//! prefetch policy — so two configurations share a file only if they
+//! simulate identically, and resuming a sweep is a per-point file
+//! existence check. Bumping the layout or key format means a new `v2/`
+//! directory; old stores are simply ignored, never migrated in place.
+//!
+//! Entries persist the headline statistics (cycles, instructions, fetch
+//! traffic). Figure rendering and expectation checking consume only
+//! `cycles`, so a point loaded from the store reconstructs an
+//! [`ExperimentPoint`](crate::runner::ExperimentPoint) with those headline
+//! fields filled in and the remaining statistics zeroed; re-run without
+//! `--resume` when full statistics matter.
+//!
+//! The JSON is hand-rolled (flat object, integer/string values, no
+//! escapes needed) because the workspace deliberately has no external
+//! dependencies.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pipe_core::SimStats;
+
+use crate::runner::ExperimentPoint;
+
+/// Store layout version; bump when the entry format or key scheme
+/// changes.
+pub const STORE_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash of `key` — stable across runs and platforms.
+pub fn fnv1a64(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One persisted experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredPoint {
+    /// The canonical configuration key the entry was stored under.
+    pub key: String,
+    /// Strategy label ("16-16", "conventional", ...).
+    pub strategy: String,
+    /// Cache size in bytes.
+    pub cache_bytes: u32,
+    /// Total benchmark cycles — the paper's metric.
+    pub cycles: u64,
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Fetch-starved issue stalls.
+    pub ifetch_stalls: u64,
+    /// Off-chip instruction bytes requested.
+    pub bytes_requested: u64,
+    /// Instruction-cache hits.
+    pub cache_hits: u64,
+    /// Instruction-cache misses.
+    pub cache_misses: u64,
+    /// Wall-clock milliseconds the original simulation took.
+    pub wall_ms: u64,
+}
+
+impl StoredPoint {
+    /// Captures the persisted subset of a measured point.
+    pub fn from_point(key: &str, strategy: &str, point: &ExperimentPoint, wall_ms: u64) -> Self {
+        StoredPoint {
+            key: key.to_string(),
+            strategy: strategy.to_string(),
+            cache_bytes: point.cache_bytes,
+            cycles: point.cycles,
+            instructions: point.stats.instructions_issued,
+            ifetch_stalls: point.stats.stalls.ifetch,
+            bytes_requested: point.stats.fetch.bytes_requested,
+            cache_hits: point.stats.fetch.cache_hits,
+            cache_misses: point.stats.fetch.cache_misses,
+            wall_ms,
+        }
+    }
+
+    /// Reconstructs an [`ExperimentPoint`] with the headline statistics
+    /// filled in (everything else zeroed — see the module docs).
+    pub fn to_point(&self) -> ExperimentPoint {
+        let mut stats = SimStats {
+            cycles: self.cycles,
+            instructions_issued: self.instructions,
+            ..SimStats::default()
+        };
+        stats.stalls.ifetch = self.ifetch_stalls;
+        stats.fetch.bytes_requested = self.bytes_requested;
+        stats.fetch.cache_hits = self.cache_hits;
+        stats.fetch.cache_misses = self.cache_misses;
+        ExperimentPoint {
+            cache_bytes: self.cache_bytes,
+            cycles: self.cycles,
+            stats,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"version\":{},\"key\":\"{}\",\"strategy\":\"{}\",",
+                "\"cache_bytes\":{},\"cycles\":{},\"instructions\":{},",
+                "\"ifetch_stalls\":{},\"bytes_requested\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"wall_ms\":{}}}\n"
+            ),
+            STORE_VERSION,
+            self.key,
+            self.strategy,
+            self.cache_bytes,
+            self.cycles,
+            self.instructions,
+            self.ifetch_stalls,
+            self.bytes_requested,
+            self.cache_hits,
+            self.cache_misses,
+            self.wall_ms,
+        )
+    }
+
+    fn from_json(text: &str) -> Option<StoredPoint> {
+        if json_u64(text, "version")? != u64::from(STORE_VERSION) {
+            return None;
+        }
+        Some(StoredPoint {
+            key: json_str(text, "key")?,
+            strategy: json_str(text, "strategy")?,
+            cache_bytes: u32::try_from(json_u64(text, "cache_bytes")?).ok()?,
+            cycles: json_u64(text, "cycles")?,
+            instructions: json_u64(text, "instructions")?,
+            ifetch_stalls: json_u64(text, "ifetch_stalls")?,
+            bytes_requested: json_u64(text, "bytes_requested")?,
+            cache_hits: json_u64(text, "cache_hits")?,
+            cache_misses: json_u64(text, "cache_misses")?,
+            wall_ms: json_u64(text, "wall_ms")?,
+        })
+    }
+}
+
+/// Extracts an unsigned integer field from a flat JSON object.
+fn json_u64(text: &str, field: &str) -> Option<u64> {
+    let rest = field_value(text, field)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a string field (no escapes) from a flat JSON object.
+fn json_str(text: &str, field: &str) -> Option<String> {
+    let rest = field_value(text, field)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_value<'a>(text: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\":");
+    let at = text.find(&needle)?;
+    Some(&text[at + needle.len()..])
+}
+
+/// A directory of persisted experiment points, keyed by configuration
+/// content hash.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the versioned store under `root` — the
+    /// entries live at `<root>/store/v<N>/`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created.
+    pub fn open(root: &Path) -> io::Result<ResultStore> {
+        let dir = root.join("store").join(format!("v{STORE_VERSION}"));
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The directory entries are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", fnv1a64(key)))
+    }
+
+    /// Whether a point for `key` has already been computed.
+    pub fn contains(&self, key: &str) -> bool {
+        self.path_for(key).is_file()
+    }
+
+    /// Loads the point stored under `key`, if any. A corrupt, truncated,
+    /// or version-mismatched entry reads as absent (the point is simply
+    /// recomputed), except that a hash-collision entry whose recorded key
+    /// differs is a hard error.
+    pub fn load(&self, key: &str) -> Option<StoredPoint> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let entry = StoredPoint::from_json(&text)?;
+        assert_eq!(
+            entry.key, key,
+            "result store hash collision: {:?} vs {:?}",
+            entry.key, key
+        );
+        Some(entry)
+    }
+
+    /// Persists `entry` under its key, atomically (write to a temp file in
+    /// the same directory, then rename), so a killed sweep never leaves a
+    /// truncated entry behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, entry: &StoredPoint) -> io::Result<()> {
+        let path = self.path_for(&entry.key);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, entry.to_json())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: &str) -> StoredPoint {
+        StoredPoint {
+            key: key.to_string(),
+            strategy: "16-16".to_string(),
+            cache_bytes: 64,
+            cycles: 123_456,
+            instructions: 1000,
+            ifetch_stalls: 17,
+            bytes_requested: 2048,
+            cache_hits: 900,
+            cache_misses: 100,
+            wall_ms: 42,
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let entry = sample("v1|fetch=pipe:size=64");
+        let parsed = StoredPoint::from_json(&entry.to_json()).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn version_mismatch_reads_as_absent() {
+        let text = sample("k")
+            .to_json()
+            .replace("\"version\":1", "\"version\":999");
+        assert!(StoredPoint::from_json(&text).is_none());
+    }
+
+    #[test]
+    fn store_save_load_contains() {
+        let dir = std::env::temp_dir().join(format!("pipe-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        let entry = sample("v1|fetch=conventional:size=32");
+        assert!(!store.contains(&entry.key));
+        store.save(&entry).unwrap();
+        assert!(store.contains(&entry.key));
+        assert_eq!(store.load(&entry.key).unwrap(), entry);
+        assert_eq!(store.len(), 1);
+        // Overwrites are idempotent.
+        store.save(&entry).unwrap();
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stored_point_reconstructs_headline_stats() {
+        let p = sample("k").to_point();
+        assert_eq!(p.cycles, 123_456);
+        assert_eq!(p.cache_bytes, 64);
+        assert_eq!(p.stats.instructions_issued, 1000);
+        assert_eq!(p.stats.stalls.ifetch, 17);
+        assert_eq!(p.stats.fetch.bytes_requested, 2048);
+    }
+}

@@ -7,7 +7,7 @@
 //!   critical-word-style refinement the paper leaves unexplored.
 
 use pipe_core::FetchStrategy;
-use pipe_icache::{BufferConfig, CacheConfig, ConvPrefetch, PipeFetchConfig};
+use pipe_icache::{BufferConfig, CacheConfig, ConvPrefetch, ConventionalConfig, PipeFetchConfig};
 use pipe_mem::MemConfig;
 use pipe_workloads::LivermoreSuite;
 
@@ -54,9 +54,8 @@ pub fn queue_size_study(
 
 /// Renders the queue-size study as a matrix (rows: IQ, columns: IQB).
 pub fn render_queue_study(cells: &[QueueStudyCell], sizes: &[u32]) -> String {
-    let mut out = String::from(
-        "queue-size study (paper parameters 7 & 8): total kilocycles\nIQ \\ IQB |",
-    );
+    let mut out =
+        String::from("queue-size study (paper parameters 7 & 8): total kilocycles\nIQ \\ IQB |");
     for &iqb in sizes {
         out.push_str(&format!(" {iqb:>7}B"));
     }
@@ -111,7 +110,12 @@ pub fn partial_line_study(
                 partial_lines: true,
                 ..PipeFetchConfig::table2(cache, 16, 16, 16)
             };
-            let partial = run_point(suite.program(), FetchStrategy::Pipe(partial_cfg), mem, cache);
+            let partial = run_point(
+                suite.program(),
+                FetchStrategy::Pipe(partial_cfg),
+                mem,
+                cache,
+            );
             PartialLineRow {
                 cache_bytes: cache,
                 whole_line_cycles: whole.cycles,
@@ -173,10 +177,10 @@ pub fn hill_prefetch_study(
         .map(|&cache| {
             let mut cycles = [0u64; 3];
             for (i, &mode) in modes.iter().enumerate() {
-                let fetch = FetchStrategy::ConventionalPrefetch(
-                    CacheConfig::new(cache, 16),
-                    mode,
-                );
+                let fetch = FetchStrategy::Conventional(ConventionalConfig {
+                    cache: CacheConfig::new(cache, 16),
+                    prefetch: mode,
+                });
                 cycles[i] = run_point(suite.program(), fetch, mem, cache).cycles;
             }
             HillStudyRow {
@@ -301,7 +305,7 @@ pub fn access_sweep_study(
             };
             let conv = run_point(
                 suite.program(),
-                FetchStrategy::Conventional(CacheConfig::new(cache_bytes, 16)),
+                FetchStrategy::conventional(CacheConfig::new(cache_bytes, 16)),
                 &mem,
                 cache_bytes,
             );
@@ -329,7 +333,10 @@ pub fn render_access_study(rows: &[AccessStudyRow], cache_bytes: u32) -> String 
     for r in rows {
         out.push_str(&format!(
             "{:>6}  {:>12}  {:>14}  {:>7.2}x\n",
-            r.access_cycles, r.conventional, r.pipe, r.speedup()
+            r.access_cycles,
+            r.conventional,
+            r.pipe,
+            r.speedup()
         ));
     }
     out
@@ -482,7 +489,10 @@ mod tests {
         let [always, on_miss, tagged] = rows[0].cycles;
         let max = always.max(on_miss).max(tagged) as f64;
         let min = always.min(on_miss).min(tagged) as f64;
-        assert!(max / min < 1.10, "spread too wide: {always} {on_miss} {tagged}");
+        assert!(
+            max / min < 1.10,
+            "spread too wide: {always} {on_miss} {tagged}"
+        );
         assert!(render_hill_study(&rows).contains("64B"));
     }
 

@@ -22,7 +22,9 @@ const COLORS: [&str; 6] = [
 ];
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Maps a cache size onto the logarithmic x axis.

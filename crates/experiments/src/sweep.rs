@@ -1,0 +1,552 @@
+//! The parallel sweep engine.
+//!
+//! A [`SweepSpec`] declares an experiment sweep — which strategies, which
+//! cache sizes, which memory timing and workload. [`SweepSpec::expand`]
+//! turns it into a flat, index-ordered list of [`SweepJob`]s, and a
+//! [`SweepRunner`] executes those jobs across scoped worker threads
+//! (`--jobs N`), writing each result into its expansion-index slot so the
+//! collected series are **bit-identical to a serial run** regardless of
+//! thread count or scheduling: each simulation is independent and
+//! deterministic, and only the collection order could differ — which the
+//! index-addressed slots pin down.
+//!
+//! With a [`ResultStore`] attached and resume enabled, each job's
+//! canonical configuration key (see [`SweepJob::key`]) is checked against
+//! the store first; previously computed points are loaded instead of
+//! re-simulated, so a re-run after an interrupted or completed sweep only
+//! pays for the missing points.
+//!
+//! ```no_run
+//! use pipe_experiments::sweep::{SweepRunner, SweepSpec};
+//!
+//! let spec = SweepSpec::figure("5b");
+//! let outcome = SweepRunner::new().jobs(4).run(&spec);
+//! assert_eq!(outcome.series.len(), 5);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pipe_core::FetchStrategy;
+use pipe_icache::PrefetchPolicy;
+use pipe_isa::{InstrFormat, Program};
+use pipe_mem::MemConfig;
+use pipe_workloads::LivermoreSuite;
+
+use crate::figures::{figure_mem, Series};
+use crate::matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
+use crate::runner::{run_point, ExperimentPoint};
+use crate::store::{ResultStore, StoredPoint};
+
+/// The benchmark a sweep runs. Declarative (rather than a prebuilt
+/// [`Program`]) so the workload participates in the configuration key
+/// that content-addresses stored results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// The paper's 14-kernel Livermore benchmark. `scale` divides each
+    /// kernel's iteration count (1 = the paper's full 150,575-instruction
+    /// run; larger values give proportionally faster sweeps for smoke
+    /// tests).
+    Livermore {
+        /// Instruction format to assemble under.
+        format: InstrFormat,
+        /// Iteration-count divisor (≥ 1).
+        scale: u32,
+    },
+    /// A synthetic straight-line loop (`pipe_workloads::synthetic`).
+    TightLoop {
+        /// ALU instructions in the loop body.
+        body: u32,
+        /// Loop trips.
+        trips: u16,
+        /// Instruction format to assemble under.
+        format: InstrFormat,
+    },
+}
+
+impl WorkloadSpec {
+    /// The paper's benchmark at full scale.
+    pub fn livermore() -> WorkloadSpec {
+        WorkloadSpec::Livermore {
+            format: InstrFormat::Fixed32,
+            scale: 1,
+        }
+    }
+
+    /// Assembles the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in benchmark fails to assemble (a bug, not a
+    /// configuration error).
+    pub fn build(&self) -> Program {
+        match *self {
+            WorkloadSpec::Livermore { format, scale } => {
+                let suite = if scale <= 1 {
+                    LivermoreSuite::build(format)
+                } else {
+                    LivermoreSuite::build_scaled(format, scale)
+                };
+                suite
+                    .expect("livermore benchmark assembles")
+                    .program()
+                    .clone()
+            }
+            WorkloadSpec::TightLoop {
+                body,
+                trips,
+                format,
+            } => pipe_workloads::synthetic::tight_loop(body, trips, format),
+        }
+    }
+
+    /// Canonical key fragment naming this workload.
+    pub fn key(&self) -> String {
+        match *self {
+            WorkloadSpec::Livermore { format, scale } => {
+                format!("livermore:format={format},scale={scale}")
+            }
+            WorkloadSpec::TightLoop {
+                body,
+                trips,
+                format,
+            } => format!("tight-loop:body={body},trips={trips},format={format}"),
+        }
+    }
+}
+
+/// Canonical key fragment for a memory configuration: every field, in a
+/// fixed order.
+fn mem_key(mem: &MemConfig) -> String {
+    let ext = match &mem.external_cache {
+        Some(e) => format!(
+            "size={},line={},penalty={}",
+            e.size_bytes, e.line_bytes, e.miss_penalty
+        ),
+        None => "none".to_string(),
+    };
+    format!(
+        "access={},pipelined={},bus_in={},bus_out={},priority={},fpu={},ext={}",
+        mem.access_cycles,
+        mem.pipelined,
+        mem.in_bus_bytes,
+        mem.out_bus_bytes,
+        mem.priority,
+        mem.fpu_latency,
+        ext
+    )
+}
+
+/// A declarative sweep: the cross product of strategies × cache sizes
+/// under one memory configuration and workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Identifier shown in progress output and reports ("fig5b", ...).
+    pub id: String,
+    /// Strategies, in presentation order.
+    pub strategies: Vec<StrategyKind>,
+    /// Cache sizes in bytes, ascending.
+    pub cache_sizes: Vec<u32>,
+    /// External memory parameters.
+    pub mem: MemConfig,
+    /// Off-chip prefetch gating for the PIPE strategies.
+    pub policy: PrefetchPolicy,
+    /// The benchmark to run.
+    pub workload: WorkloadSpec,
+}
+
+impl SweepSpec {
+    /// The sweep behind one of the paper's figure panels (`"4a"`–`"6b"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown figure id.
+    pub fn figure(id: &str) -> SweepSpec {
+        let (mem, _) = figure_mem(id);
+        SweepSpec {
+            id: format!("fig{id}"),
+            strategies: ALL_STRATEGIES.to_vec(),
+            cache_sizes: sweep_sizes().to_vec(),
+            mem,
+            policy: PrefetchPolicy::TruePrefetch,
+            workload: WorkloadSpec::livermore(),
+        }
+    }
+
+    /// Expands the spec into index-ordered jobs (strategy-major, cache
+    /// size ascending). Points whose geometry is invalid for a strategy
+    /// (cache smaller than the line) are skipped, matching the figures.
+    pub fn expand(&self) -> Vec<SweepJob> {
+        let wl = self.workload.key();
+        let mem = mem_key(&self.mem);
+        let mut jobs = Vec::new();
+        for &kind in &self.strategies {
+            for &size in &self.cache_sizes {
+                if let Some(fetch) = kind.fetch_for(size, self.policy) {
+                    jobs.push(SweepJob {
+                        index: jobs.len(),
+                        kind,
+                        cache_bytes: size,
+                        key: format!("v1|wl={wl}|mem={mem}|fetch={}", fetch.cache_key()),
+                        fetch,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One executable point of an expanded sweep.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Position in the expansion (and in the result slots).
+    pub index: usize,
+    /// The strategy this point belongs to.
+    pub kind: StrategyKind,
+    /// Cache size in bytes.
+    pub cache_bytes: u32,
+    /// The fully resolved fetch configuration.
+    pub fetch: FetchStrategy,
+    key: String,
+}
+
+impl SweepJob {
+    /// The canonical configuration key this point is stored under: it
+    /// covers workload, memory timing, and the complete fetch geometry,
+    /// so equal keys simulate identically.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+/// One completed point with its provenance.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The measured (or store-loaded) point.
+    pub point: ExperimentPoint,
+    /// Wall-clock time the simulation took (zero when loaded from the
+    /// store).
+    pub wall: Duration,
+    /// Whether the point was loaded from the result store.
+    pub cached: bool,
+}
+
+/// The result of running a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One series per strategy, in spec order — the same shape the serial
+    /// figure path produces.
+    pub series: Vec<Series>,
+    /// Points actually simulated this run.
+    pub computed: usize,
+    /// Points satisfied from the result store.
+    pub cached: usize,
+    /// Total wall-clock time of the sweep.
+    pub wall: Duration,
+}
+
+/// Executes [`SweepSpec`]s across worker threads with optional
+/// store-backed resume and progress reporting.
+#[derive(Debug, Default)]
+pub struct SweepRunner {
+    jobs: usize,
+    store: Option<ResultStore>,
+    resume: bool,
+    progress: bool,
+}
+
+impl SweepRunner {
+    /// A serial runner with no store and no progress output.
+    pub fn new() -> SweepRunner {
+        SweepRunner {
+            jobs: 1,
+            store: None,
+            resume: false,
+            progress: false,
+        }
+    }
+
+    /// Sets the worker-thread count (0 is treated as 1).
+    pub fn jobs(mut self, jobs: usize) -> SweepRunner {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Attaches a result store; every computed point is persisted to it.
+    pub fn store(mut self, store: ResultStore) -> SweepRunner {
+        self.store = Some(store);
+        self
+    }
+
+    /// When a store is attached, load previously computed points instead
+    /// of re-simulating them.
+    pub fn resume(mut self, resume: bool) -> SweepRunner {
+        self.resume = resume;
+        self
+    }
+
+    /// Emit per-point progress lines (with wall time) to stderr.
+    pub fn progress(mut self, progress: bool) -> SweepRunner {
+        self.progress = progress;
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a simulation errors (sweep configurations are validated
+    /// at expansion) or a store write fails.
+    pub fn run(&self, spec: &SweepSpec) -> SweepOutcome {
+        let started = Instant::now();
+        let jobs = spec.expand();
+        let total = jobs.len();
+        let program = spec.workload.build();
+
+        // Index-addressed result slots: the write order never affects the
+        // collected series.
+        let mut slots: Vec<Option<PointOutcome>> = (0..total).map(|_| None).collect();
+
+        // Satisfy what we can from the store first (cheap file reads).
+        let mut pending: Vec<&SweepJob> = Vec::new();
+        for job in &jobs {
+            let cached = if self.resume {
+                self.store.as_ref().and_then(|s| s.load(job.key()))
+            } else {
+                None
+            };
+            match cached {
+                Some(entry) => {
+                    self.report(spec, job, entry.cycles, Duration::ZERO, true, total);
+                    slots[job.index] = Some(PointOutcome {
+                        point: entry.to_point(),
+                        wall: Duration::ZERO,
+                        cached: true,
+                    });
+                }
+                None => pending.push(job),
+            }
+        }
+        let cached = total - pending.len();
+
+        let workers = self.jobs.min(pending.len().max(1));
+        if workers <= 1 {
+            for job in &pending {
+                let outcome = self.execute(spec, job, &program, total);
+                slots[job.index] = Some(outcome);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let shared_slots = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = pending.get(i) else { break };
+                        let outcome = self.execute(spec, job, &program, total);
+                        shared_slots.lock().expect("no poisoned workers")[job.index] =
+                            Some(outcome);
+                    });
+                }
+            });
+        }
+
+        // Collect into series in expansion order: strategy-major, size
+        // ascending — identical to the serial path.
+        let series = spec
+            .strategies
+            .iter()
+            .map(|&kind| Series {
+                label: kind.label().to_string(),
+                kind,
+                points: jobs
+                    .iter()
+                    .filter(|j| j.kind == kind)
+                    .map(|j| {
+                        slots[j.index]
+                            .as_ref()
+                            .expect("every job produced a point")
+                            .point
+                            .clone()
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        SweepOutcome {
+            series,
+            computed: total - cached,
+            cached,
+            wall: started.elapsed(),
+        }
+    }
+
+    /// Simulates one point, persists it, and reports progress.
+    fn execute(
+        &self,
+        spec: &SweepSpec,
+        job: &SweepJob,
+        program: &Program,
+        total: usize,
+    ) -> PointOutcome {
+        let t0 = Instant::now();
+        let point = run_point(program, job.fetch, &spec.mem, job.cache_bytes);
+        let wall = t0.elapsed();
+        if let Some(store) = &self.store {
+            let entry = StoredPoint::from_point(
+                job.key(),
+                job.kind.label(),
+                &point,
+                wall.as_millis() as u64,
+            );
+            store.save(&entry).expect("result store write");
+        }
+        self.report(spec, job, point.cycles, wall, false, total);
+        PointOutcome {
+            point,
+            wall,
+            cached: false,
+        }
+    }
+
+    fn report(
+        &self,
+        spec: &SweepSpec,
+        job: &SweepJob,
+        cycles: u64,
+        wall: Duration,
+        cached: bool,
+        total: usize,
+    ) {
+        if !self.progress {
+            return;
+        }
+        let source = if cached {
+            " [cached]".to_string()
+        } else {
+            format!(" ({:.2}s)", wall.as_secs_f64())
+        };
+        eprintln!(
+            "[{} {}/{}] {} @ {}B: {} cycles{}",
+            spec.id,
+            job.index + 1,
+            total,
+            job.kind.label(),
+            job.cache_bytes,
+            cycles,
+            source,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(id: &str) -> SweepSpec {
+        SweepSpec {
+            id: id.to_string(),
+            strategies: vec![StrategyKind::Conventional, StrategyKind::Pipe16x16],
+            cache_sizes: vec![32, 64],
+            mem: MemConfig {
+                access_cycles: 3,
+                ..MemConfig::default()
+            },
+            policy: PrefetchPolicy::TruePrefetch,
+            workload: WorkloadSpec::TightLoop {
+                body: 6,
+                trips: 30,
+                format: InstrFormat::Fixed32,
+            },
+        }
+    }
+
+    #[test]
+    fn expansion_is_strategy_major_and_skips_invalid() {
+        let mut spec = small_spec("t");
+        spec.strategies = vec![StrategyKind::Pipe32x32, StrategyKind::Conventional];
+        spec.cache_sizes = vec![16, 32, 64];
+        let jobs = spec.expand();
+        // Pipe32x32 skips the 16B point (32-byte lines).
+        assert_eq!(jobs.len(), 2 + 3);
+        assert_eq!(jobs[0].cache_bytes, 32);
+        assert_eq!(jobs[0].kind, StrategyKind::Pipe32x32);
+        assert_eq!(jobs[2].kind, StrategyKind::Conventional);
+        assert!(jobs.iter().enumerate().all(|(i, j)| i == j.index));
+    }
+
+    #[test]
+    fn keys_are_unique_and_cover_mem_config() {
+        let spec = small_spec("t");
+        let jobs = spec.expand();
+        let mut keys: Vec<&str> = jobs.iter().map(|j| j.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), jobs.len(), "every job key distinct");
+
+        let mut other = small_spec("t");
+        other.mem.in_bus_bytes = 8;
+        assert_ne!(spec.expand()[0].key(), other.expand()[0].key());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let spec = small_spec("det");
+        let serial = SweepRunner::new().run(&spec);
+        let parallel = SweepRunner::new().jobs(4).run(&spec);
+        assert_eq!(serial.series.len(), parallel.series.len());
+        for (s, p) in serial.series.iter().zip(&parallel.series) {
+            assert_eq!(s.label, p.label);
+            let sc: Vec<(u32, u64)> = s.points.iter().map(|x| (x.cache_bytes, x.cycles)).collect();
+            let pc: Vec<(u32, u64)> = p.points.iter().map(|x| (x.cache_bytes, x.cycles)).collect();
+            assert_eq!(sc, pc, "cycle counts identical under {}", s.label);
+        }
+    }
+
+    #[test]
+    fn resume_skips_stored_points() {
+        let dir = std::env::temp_dir().join(format!("pipe-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec("resume");
+
+        let first = SweepRunner::new()
+            .store(ResultStore::open(&dir).unwrap())
+            .resume(true)
+            .run(&spec);
+        assert_eq!(first.cached, 0);
+        assert_eq!(first.computed, 4);
+
+        let second = SweepRunner::new()
+            .store(ResultStore::open(&dir).unwrap())
+            .resume(true)
+            .run(&spec);
+        assert_eq!(second.computed, 0);
+        assert_eq!(second.cached, 4);
+        for (a, b) in first.series.iter().zip(&second.series) {
+            let ac: Vec<u64> = a.points.iter().map(|p| p.cycles).collect();
+            let bc: Vec<u64> = b.points.iter().map(|p| p.cycles).collect();
+            assert_eq!(ac, bc, "store round-trips cycles");
+        }
+
+        // Without resume, the store is write-only: everything recomputes.
+        let third = SweepRunner::new()
+            .store(ResultStore::open(&dir).unwrap())
+            .run(&spec);
+        assert_eq!(third.cached, 0);
+        assert_eq!(third.computed, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn figure_spec_matches_figure_shape() {
+        let spec = SweepSpec::figure("4a");
+        assert_eq!(spec.id, "fig4a");
+        assert_eq!(spec.strategies.len(), 5);
+        assert_eq!(spec.mem.access_cycles, 1);
+        // 5 strategies × 6 sizes minus the sub-line points.
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 28);
+    }
+}

@@ -110,7 +110,11 @@ mod tests {
     #[test]
     fn table1_matches_paper_exactly() {
         for row in table1() {
-            assert_eq!(row.paper_bytes, row.measured_bytes, "loop {}", row.loop_index);
+            assert_eq!(
+                row.paper_bytes, row.measured_bytes,
+                "loop {}",
+                row.loop_index
+            );
         }
     }
 

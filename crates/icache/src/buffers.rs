@@ -20,7 +20,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pipe_isa::{Program, PARCEL_BYTES};
-use pipe_mem::{Beat, BeatSource, MemRequest, MemorySystem, ReqClass};
+use pipe_mem::error::require_at_least;
+use pipe_mem::{Beat, BeatSource, ConfigError, MemRequest, MemorySystem, ReqClass};
 
 use crate::cache::{CacheConfig, InstructionCache};
 use crate::engine::FetchEngine;
@@ -43,11 +44,10 @@ impl BufferConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message for zero buffers or an invalid cache geometry.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.buffers == 0 {
-            return Err("at least one prefetch buffer is required".into());
-        }
+    /// Returns a [`ConfigError`] for zero buffers or an invalid cache
+    /// geometry.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_at_least("buffers", u64::from(self.buffers), 1)?;
         if let Some(c) = &self.cache {
             c.validate()?;
         }
@@ -226,7 +226,11 @@ impl FetchEngine for BufferFetch {
     }
 
     fn on_accepted(&mut self, tag: u64) {
-        if let Some(p) = self.pendings.iter_mut().find(|p| p.tag == tag && !p.accepted) {
+        if let Some(p) = self
+            .pendings
+            .iter_mut()
+            .find(|p| p.tag == tag && !p.accepted)
+        {
             p.accepted = true;
             if self.fq.needs_refill() && p.live {
                 self.stats.demand_requests += 1;

@@ -8,6 +8,9 @@
 
 use std::fmt;
 
+use pipe_mem::error::{require_at_most, require_power_of_two};
+use pipe_mem::ConfigError;
+
 /// Geometry of an [`InstructionCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
@@ -34,32 +37,20 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message if any field is zero or not a power of two, if the
-    /// line does not divide the size, or if the sub-block does not divide
-    /// the line.
-    pub fn validate(&self) -> Result<(), String> {
-        for (name, v) in [
-            ("size_bytes", self.size_bytes),
-            ("line_bytes", self.line_bytes),
-            ("subblock_bytes", self.subblock_bytes),
-        ] {
-            if v == 0 || !v.is_power_of_two() {
-                return Err(format!("{name} must be a nonzero power of two, got {v}"));
-            }
-        }
-        if self.size_bytes < self.line_bytes {
-            return Err(format!(
-                "cache size {} smaller than line size {}",
-                self.size_bytes, self.line_bytes
-            ));
-        }
-        if self.line_bytes < self.subblock_bytes {
-            return Err(format!(
-                "line size {} smaller than sub-block size {}",
-                self.line_bytes, self.subblock_bytes
-            ));
-        }
-        Ok(())
+    /// Returns a [`ConfigError`] if any field is zero or not a power of
+    /// two, if the line exceeds the size, or if the sub-block exceeds the
+    /// line.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_power_of_two("size_bytes", self.size_bytes)?;
+        require_power_of_two("line_bytes", self.line_bytes)?;
+        require_power_of_two("subblock_bytes", self.subblock_bytes)?;
+        require_at_most("line_bytes", self.line_bytes, "size_bytes", self.size_bytes)?;
+        require_at_most(
+            "subblock_bytes",
+            self.subblock_bytes,
+            "line_bytes",
+            self.line_bytes,
+        )
     }
 
     /// Number of lines.

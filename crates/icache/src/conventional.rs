@@ -17,7 +17,7 @@ use std::sync::Arc;
 use pipe_isa::decode::instr_len;
 use pipe_isa::encode::parcel_has_ext;
 use pipe_isa::{Program, PARCEL_BYTES};
-use pipe_mem::{Beat, BeatSource, MemRequest, MemorySystem, ReqClass};
+use pipe_mem::{Beat, BeatSource, ConfigError, MemRequest, MemorySystem, ReqClass};
 
 use crate::cache::{CacheConfig, InstructionCache};
 use crate::engine::FetchEngine;
@@ -47,6 +47,43 @@ impl std::fmt::Display for ConvPrefetch {
             ConvPrefetch::OnMissOnly => f.write_str("on-miss-only"),
             ConvPrefetch::Tagged => f.write_str("tagged-prefetch"),
         }
+    }
+}
+
+/// Full configuration of a [`ConventionalFetch`]: cache geometry plus the
+/// prefetch strategy. Mirrors [`PipeFetchConfig`](crate::PipeFetchConfig)
+/// so every engine is described by exactly one config type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConventionalConfig {
+    /// Instruction cache geometry.
+    pub cache: CacheConfig,
+    /// Hill prefetch strategy.
+    pub prefetch: ConvPrefetch,
+}
+
+impl ConventionalConfig {
+    /// The paper's conventional cache: the given geometry with
+    /// always-prefetch.
+    pub fn new(cache: CacheConfig) -> ConventionalConfig {
+        ConventionalConfig {
+            cache,
+            prefetch: ConvPrefetch::Always,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid cache geometry.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.cache.validate()
+    }
+}
+
+impl From<CacheConfig> for ConventionalConfig {
+    fn from(cache: CacheConfig) -> ConventionalConfig {
+        ConventionalConfig::new(cache)
     }
 }
 
@@ -90,27 +127,42 @@ pub struct ConventionalFetch {
 }
 
 impl ConventionalFetch {
-    /// Creates a conventional fetch engine over `program` with the given
-    /// cache geometry.
+    /// Creates a conventional fetch engine over `program`. Accepts either
+    /// a full [`ConventionalConfig`] or a bare [`CacheConfig`] (which
+    /// implies the paper's always-prefetch strategy).
     ///
     /// # Panics
     ///
-    /// Panics if `cache` fails [`CacheConfig::validate`].
-    pub fn new(program: &Program, cache: CacheConfig) -> ConventionalFetch {
-        ConventionalFetch::with_prefetch(program, cache, ConvPrefetch::Always)
+    /// Panics if the configuration fails [`ConventionalConfig::validate`];
+    /// construct through
+    /// [`EngineBuilder`](crate::EngineBuilder) /
+    /// [`FetchConfig::build`](crate::FetchConfig::build) for a fallible
+    /// path.
+    pub fn new(program: &Program, config: impl Into<ConventionalConfig>) -> ConventionalFetch {
+        let config = config.into();
+        if let Err(e) = config.validate() {
+            panic!("invalid conventional-fetch config: {e}");
+        }
+        ConventionalFetch::from_config(program, config)
     }
 
-    /// Creates a conventional fetch engine with one of Hill's alternative
-    /// prefetch strategies.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cache` fails [`CacheConfig::validate`].
+    /// Creates a conventional fetch engine with an explicit prefetch
+    /// strategy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through `EngineBuilder`/`FetchConfig::build`, or pass a \
+                `ConventionalConfig` to `ConventionalFetch::new`"
+    )]
     pub fn with_prefetch(
         program: &Program,
         cache: CacheConfig,
         prefetch: ConvPrefetch,
     ) -> ConventionalFetch {
+        ConventionalFetch::new(program, ConventionalConfig { cache, prefetch })
+    }
+
+    fn from_config(program: &Program, config: ConventionalConfig) -> ConventionalFetch {
+        let ConventionalConfig { cache, prefetch } = config;
         ConventionalFetch {
             image: program.image(),
             base: program.base(),
@@ -425,9 +477,7 @@ mod tests {
 
     fn program() -> Program {
         Assembler::new(InstrFormat::Fixed32)
-            .assemble(
-                "lim r1, 2\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n",
-            )
+            .assemble("lim r1, 2\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n")
             .unwrap()
     }
 
@@ -533,8 +583,13 @@ mod tests {
     #[test]
     fn on_miss_only_never_prefetches() {
         let p = program();
-        let mut f =
-            ConventionalFetch::with_prefetch(&p, CacheConfig::new(64, 16), ConvPrefetch::OnMissOnly);
+        let mut f = ConventionalFetch::new(
+            &p,
+            ConventionalConfig {
+                cache: CacheConfig::new(64, 16),
+                prefetch: ConvPrefetch::OnMissOnly,
+            },
+        );
         let mut m = mem(1);
         for _ in 0..30 {
             cycle(&mut f, &mut m);
@@ -546,8 +601,13 @@ mod tests {
     #[test]
     fn tagged_prefetches_on_first_reference_only() {
         let p = program();
-        let mut f =
-            ConventionalFetch::with_prefetch(&p, CacheConfig::new(64, 16), ConvPrefetch::Tagged);
+        let mut f = ConventionalFetch::new(
+            &p,
+            ConventionalConfig {
+                cache: CacheConfig::new(64, 16),
+                prefetch: ConvPrefetch::Tagged,
+            },
+        );
         let mut m = mem(1);
         let mut issued = 0;
         for _ in 0..40 {

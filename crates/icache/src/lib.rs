@@ -64,6 +64,7 @@
 //! ```
 
 pub mod buffers;
+pub mod builder;
 pub mod cache;
 pub mod conventional;
 pub mod engine;
@@ -74,11 +75,13 @@ pub mod stats;
 pub mod tib;
 
 pub use buffers::{BufferConfig, BufferFetch};
+pub use builder::{EngineBuilder, FetchConfig, FetchKind};
 pub use cache::{CacheConfig, InstructionCache};
-pub use conventional::{ConvPrefetch, ConventionalFetch};
+pub use conventional::{ConvPrefetch, ConventionalConfig, ConventionalFetch};
 pub use engine::FetchEngine;
 pub use perfect::PerfectFetch;
 pub use pipe_fetch::{PipeFetch, PipeFetchConfig, PrefetchPolicy};
+pub use pipe_mem::ConfigError;
 pub use queue::ParcelQueue;
 pub use stats::FetchStats;
 pub use tib::{TibConfig, TibFetch};

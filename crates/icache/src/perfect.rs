@@ -144,7 +144,7 @@ mod tests {
         f.consume(); // lbr
         f.consume(); // subi
         f.consume(); // pbr (delay 0)
-        // Branch resolves taken with 0 remaining slots → immediate redirect.
+                     // Branch resolves taken with 0 remaining slots → immediate redirect.
         f.resolve_branch(true, 0, p.symbols()["top"]);
         let (first, second) = f.peek().unwrap();
         let instr = pipe_isa::decode(first, second).unwrap();

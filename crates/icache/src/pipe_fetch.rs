@@ -27,7 +27,8 @@ use std::sync::Arc;
 
 use pipe_isa::encode::parcel_is_branch;
 use pipe_isa::{Program, PARCEL_BYTES};
-use pipe_mem::{Beat, BeatSource, MemRequest, MemorySystem, ReqClass};
+use pipe_mem::error::require_multiple_of;
+use pipe_mem::{Beat, BeatSource, ConfigError, MemRequest, MemorySystem, ReqClass};
 
 use crate::cache::{CacheConfig, InstructionCache};
 use crate::engine::FetchEngine;
@@ -93,16 +94,12 @@ impl PipeFetchConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message for invalid cache geometry or zero/odd queue
-    /// sizes.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] for invalid cache geometry or zero/odd
+    /// queue sizes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.cache.validate()?;
-        for (name, v) in [("iq_bytes", self.iq_bytes), ("iqb_bytes", self.iqb_bytes)] {
-            if v < PARCEL_BYTES || v % PARCEL_BYTES != 0 {
-                return Err(format!("{name} must be a positive multiple of 2, got {v}"));
-            }
-        }
-        Ok(())
+        require_multiple_of("iq_bytes", self.iq_bytes, PARCEL_BYTES)?;
+        require_multiple_of("iqb_bytes", self.iqb_bytes, PARCEL_BYTES)
     }
 }
 
@@ -221,7 +218,14 @@ impl PipeFetch {
     /// Copies parcels `[from, to)` from the image into `q`, stopping at
     /// queue capacity or image end. Returns the address after the last
     /// parcel copied.
-    fn copy_from_image(image: &Arc<Vec<u16>>, base: u32, end: u32, q: &mut ParcelQueue, from: u32, to: u32) -> u32 {
+    fn copy_from_image(
+        image: &Arc<Vec<u16>>,
+        base: u32,
+        end: u32,
+        q: &mut ParcelQueue,
+        from: u32,
+        to: u32,
+    ) -> u32 {
         let mut a = from;
         while a < to && a < end && q.room() > 0 {
             if a < base {
@@ -295,7 +299,10 @@ impl PipeFetch {
         }
 
         // Begin fetching the target line (cache or off-chip).
-        let mut prep = Prep { target, end: target };
+        let mut prep = Prep {
+            target,
+            end: target,
+        };
         if target >= self.base && target < self.end {
             let chunk_end = self.line_end(target).min(self.end);
             if self.cache.contains(target, chunk_end - target) {
@@ -361,8 +368,14 @@ impl PipeFetch {
         let chunk_end = self.line_end(need).min(self.end);
         if self.cache.contains(need, chunk_end - need) {
             self.stats.cache_hits += 1;
-            self.stream_end =
-                Self::copy_from_image(&self.image, self.base, self.end, &mut self.iq, need, chunk_end);
+            self.stream_end = Self::copy_from_image(
+                &self.image,
+                self.base,
+                self.end,
+                &mut self.iq,
+                need,
+                chunk_end,
+            );
         } else {
             self.stats.cache_misses += 1;
             let (line_addr, bytes) = self.fill_request(need);
@@ -394,8 +407,14 @@ impl PipeFetch {
         let chunk_end = self.line_end(need).min(self.end);
         if self.cache.contains(need, chunk_end - need) {
             self.stats.cache_hits += 1;
-            self.stream_end =
-                Self::copy_from_image(&self.image, self.base, self.end, &mut self.iqb, need, chunk_end);
+            self.stream_end = Self::copy_from_image(
+                &self.image,
+                self.base,
+                self.end,
+                &mut self.iqb,
+                need,
+                chunk_end,
+            );
         } else {
             self.stats.cache_misses += 1;
             // Off-chip prefetch: gated under the guaranteed-only policy by
@@ -524,7 +543,10 @@ impl FetchEngine for PipeFetch {
             beat.source,
             BeatSource::IFetch | BeatSource::IPrefetch
         ));
-        let Some(idx) = self.pendings.iter().position(|p| p.tag == beat.tag && p.accepted)
+        let Some(idx) = self
+            .pendings
+            .iter()
+            .position(|p| p.tag == beat.tag && p.accepted)
         else {
             return;
         };
@@ -748,10 +770,7 @@ mod tests {
         // fetches beyond what straddles the image tail prefetch.
         let new_demand = f.stats().demand_requests;
         let _ = reqs_before;
-        assert!(
-            new_demand <= f.stats().demand_requests,
-            "sanity"
-        );
+        assert!(new_demand <= f.stats().demand_requests, "sanity");
         assert!(f.stats().redirects >= 1);
     }
 
@@ -898,7 +917,7 @@ mod tests {
             }
             let fetched = f.stats().bytes_requested - before;
             assert!(
-                fetched >= expect_bytes && fetched % expect_bytes == 0,
+                fetched >= expect_bytes && fetched.is_multiple_of(expect_bytes),
                 "partial={partial}: fetched {fetched}, expected multiples of {expect_bytes}"
             );
         }
@@ -914,8 +933,8 @@ mod tests {
         let p = Assembler::new(InstrFormat::Fixed32).assemble(src).unwrap();
         let mut f = pipe(&p, 64, 32, 16, 32);
         let mut m = mem(1, 4); // 32-byte line = 8 beats
-        // Stream without consuming: the IQ (8 parcels) fills, the rest
-        // spills into the IQB.
+                               // Stream without consuming: the IQ (8 parcels) fills, the rest
+                               // spills into the IQB.
         for _ in 0..7 {
             f.offer_requests(&mut m);
             let out = m.tick();
@@ -973,6 +992,9 @@ mod tests {
                 consumed += 1;
             }
         }
-        assert!(consumed >= 8, "all instructions flowed through, got {consumed}");
+        assert!(
+            consumed >= 8,
+            "all instructions flowed through, got {consumed}"
+        );
     }
 }

@@ -25,7 +25,7 @@ impl ParcelQueue {
     /// Panics if `capacity_bytes` is zero or odd.
     pub fn new(capacity_bytes: u32) -> ParcelQueue {
         assert!(
-            capacity_bytes >= PARCEL_BYTES && capacity_bytes % PARCEL_BYTES == 0,
+            capacity_bytes >= PARCEL_BYTES && capacity_bytes.is_multiple_of(PARCEL_BYTES),
             "queue capacity must be a positive multiple of {PARCEL_BYTES} bytes"
         );
         ParcelQueue {

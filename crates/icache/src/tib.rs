@@ -21,7 +21,8 @@
 use std::sync::Arc;
 
 use pipe_isa::{Program, PARCEL_BYTES};
-use pipe_mem::{Beat, BeatSource, MemRequest, MemorySystem, ReqClass};
+use pipe_mem::error::{require_at_least, require_multiple_of};
+use pipe_mem::{Beat, BeatSource, ConfigError, MemRequest, MemorySystem, ReqClass};
 
 use crate::engine::FetchEngine;
 use crate::queue::ParcelQueue;
@@ -52,20 +53,11 @@ impl TibConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message for zero entries or invalid sizes.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.entries == 0 {
-            return Err("TIB needs at least one entry".into());
-        }
-        for (name, v) in [
-            ("entry_bytes", self.entry_bytes),
-            ("fetch_queue_bytes", self.fetch_queue_bytes),
-        ] {
-            if v < PARCEL_BYTES || v % PARCEL_BYTES != 0 {
-                return Err(format!("{name} must be a positive multiple of 2, got {v}"));
-            }
-        }
-        Ok(())
+    /// Returns a [`ConfigError`] for zero entries or invalid sizes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_at_least("entries", u64::from(self.entries), 1)?;
+        require_multiple_of("entry_bytes", self.entry_bytes, PARCEL_BYTES)?;
+        require_multiple_of("fetch_queue_bytes", self.fetch_queue_bytes, PARCEL_BYTES)
     }
 
     /// Total instruction bytes the TIB can hold.

@@ -307,10 +307,10 @@ fn parse_instr(
     if m == ".equ" {
         want(ops, 2, no)?;
         if !is_ident(ops[0]) {
-            return Err(err(no, AsmErrorKind::BadOperands(format!(
-                "`{}` is not a valid constant name",
-                ops[0]
-            ))));
+            return Err(err(
+                no,
+                AsmErrorKind::BadOperands(format!("`{}` is not a valid constant name", ops[0])),
+            ));
         }
         let value = parse_int(ops[1], no, equs)?;
         equs.insert(ops[0].to_string(), value);

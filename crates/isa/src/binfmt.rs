@@ -174,7 +174,9 @@ pub fn read_program(bytes: &[u8]) -> Result<Program, BinError> {
         let value = r.u32()?;
         data.push((addr, value));
     }
-    Ok(Program::from_raw(parcels, base, entry, format, symbols, data))
+    Ok(Program::from_raw(
+        parcels, base, entry, format, symbols, data,
+    ))
 }
 
 #[cfg(test)]
@@ -207,7 +209,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(read_program(b"ELF!whatever").unwrap_err(), BinError::BadMagic);
+        assert_eq!(
+            read_program(b"ELF!whatever").unwrap_err(),
+            BinError::BadMagic
+        );
         assert_eq!(read_program(b"PI").unwrap_err(), BinError::Truncated);
         let mut bytes = write_program(&sample(InstrFormat::Fixed32));
         bytes[4] = 99;

@@ -46,9 +46,7 @@ mod tests {
     #[test]
     fn includes_labels_and_addresses() {
         let p = Assembler::new(InstrFormat::Fixed32)
-            .assemble(
-                "lim r1, 2\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n",
-            )
+            .assemble("lim r1, 2\nlbr b0, top\ntop: subi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n")
             .unwrap();
         let text = disassemble(&p);
         assert!(text.contains("top:"), "{text}");

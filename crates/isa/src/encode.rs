@@ -110,9 +110,10 @@ pub fn encode(instr: &Instruction, format: InstrFormat) -> Encoded {
             ),
             Some(imm as u16),
         ),
-        Instruction::Lim { rd, imm } => {
-            (pack(Opcode::Lim, rd.number().into(), 0, 0), Some(imm as u16))
-        }
+        Instruction::Lim { rd, imm } => (
+            pack(Opcode::Lim, rd.number().into(), 0, 0),
+            Some(imm as u16),
+        ),
         Instruction::Lui { rd, imm } => (pack(Opcode::Lui, rd.number().into(), 0, 0), Some(imm)),
         Instruction::Load { base, disp } => (
             pack(Opcode::Ldw, 0, base.number().into(), 0),
@@ -245,11 +246,7 @@ mod tests {
         for i in &instrs {
             for f in InstrFormat::ALL {
                 let e = encode(i, f);
-                assert_eq!(
-                    e.len(),
-                    i.size_parcels(f) as usize,
-                    "{i} under {f}"
-                );
+                assert_eq!(e.len(), i.size_parcels(f) as usize, "{i} under {f}");
                 assert_eq!(parcel_has_ext(e.parcels()[0]), e.len() == 2);
             }
         }

@@ -353,7 +353,7 @@ impl ProgramBuilder {
                 return Err(BuildError::BadAlignment { align });
             }
             let pad = (align - addr % align) % align;
-            if pad % nop_bytes != 0 {
+            if !pad.is_multiple_of(nop_bytes) {
                 return Err(BuildError::BadAlignment { align });
             }
             Ok(pad)
@@ -383,8 +383,7 @@ impl ProgramBuilder {
                 Item::Align(a) => {
                     let pad = align_pad(item_addr[idx], *a)?;
                     for _ in 0..pad / nop_bytes {
-                        parcels
-                            .extend_from_slice(encode(&Instruction::Nop, self.format).parcels());
+                        parcels.extend_from_slice(encode(&Instruction::Nop, self.format).parcels());
                     }
                     continue;
                 }
@@ -498,7 +497,10 @@ mod tests {
         b.label("x");
         b.push(Instruction::Nop);
         b.label("x");
-        assert_eq!(b.build().unwrap_err(), BuildError::DuplicateLabel("x".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

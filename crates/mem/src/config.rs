@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::error::{require_at_least, require_multiple_of, ConfigError};
+
 /// Which request class wins ties at the memory interface.
 ///
 /// The paper's simulator "was also able to select whether data or
@@ -59,24 +61,12 @@ impl MemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field: zero access time,
-    /// zero/odd bus widths.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.access_cycles == 0 {
-            return Err("access_cycles must be at least 1".into());
-        }
-        if self.in_bus_bytes == 0 || self.in_bus_bytes % 2 != 0 {
-            return Err(format!(
-                "in_bus_bytes must be a positive even number, got {}",
-                self.in_bus_bytes
-            ));
-        }
-        if self.out_bus_bytes == 0 || self.out_bus_bytes % 2 != 0 {
-            return Err(format!(
-                "out_bus_bytes must be a positive even number, got {}",
-                self.out_bus_bytes
-            ));
-        }
+    /// Returns the first invalid field: zero access time, zero/odd bus
+    /// widths, or an invalid external-cache geometry.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_at_least("access_cycles", u64::from(self.access_cycles), 1)?;
+        require_multiple_of("in_bus_bytes", self.in_bus_bytes, 2)?;
+        require_multiple_of("out_bus_bytes", self.out_bus_bytes, 2)?;
         if let Some(ec) = &self.external_cache {
             ec.validate()?;
         }
@@ -122,16 +112,22 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fields() {
-        let mut c = MemConfig::default();
-        c.access_cycles = 0;
+        let c = MemConfig {
+            access_cycles: 0,
+            ..MemConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MemConfig::default();
-        c.in_bus_bytes = 3;
+        let c = MemConfig {
+            in_bus_bytes: 3,
+            ..MemConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MemConfig::default();
-        c.out_bus_bytes = 0;
+        let c = MemConfig {
+            out_bus_bytes: 0,
+            ..MemConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

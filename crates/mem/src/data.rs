@@ -72,8 +72,7 @@ impl PartialEq for DataMemory {
     /// Two memories are equal when every address reads the same value —
     /// explicit zeros count as unwritten.
     fn eq(&self, other: &DataMemory) -> bool {
-        self.iter().all(|(a, v)| other.read(a) == v)
-            && other.iter().all(|(a, v)| self.read(a) == v)
+        self.iter().all(|(a, v)| other.read(a) == v) && other.iter().all(|(a, v)| self.read(a) == v)
     }
 }
 

@@ -1,0 +1,202 @@
+//! Typed configuration-validation errors.
+//!
+//! Every `validate()` in the simulator's configuration types — memory,
+//! caches, fetch engines, and the top-level simulation config — reports
+//! problems through [`ConfigError`] instead of ad-hoc strings, so callers
+//! can match on the failure kind and error sources compose through
+//! `std::error::Error`.
+
+use std::error::Error;
+use std::fmt;
+
+/// A structural problem in a configuration value.
+///
+/// `field` names are stable identifiers (the Rust field path, e.g.
+/// `"iq_bytes"` or `"cache.line_bytes"`) suitable for programmatic
+/// matching; the `Display` form is the user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `field` must be a nonzero power of two.
+    NotPowerOfTwo {
+        /// Offending field.
+        field: &'static str,
+        /// Value supplied.
+        value: u32,
+    },
+    /// `field` must be a positive multiple of `multiple`.
+    NotMultipleOf {
+        /// Offending field.
+        field: &'static str,
+        /// Value supplied.
+        value: u32,
+        /// Required divisor.
+        multiple: u32,
+    },
+    /// `field` must be at least `min`.
+    TooSmall {
+        /// Offending field.
+        field: &'static str,
+        /// Value supplied.
+        value: u64,
+        /// Smallest accepted value.
+        min: u64,
+    },
+    /// `field` may not exceed `limit_field` (e.g. a line larger than its
+    /// cache).
+    Exceeds {
+        /// Offending field.
+        field: &'static str,
+        /// Value supplied.
+        value: u32,
+        /// The field that bounds it.
+        limit_field: &'static str,
+        /// The bounding value.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a nonzero power of two, got {value}")
+            }
+            ConfigError::NotMultipleOf {
+                field,
+                value,
+                multiple,
+            } => write!(
+                f,
+                "{field} must be a positive multiple of {multiple}, got {value}"
+            ),
+            ConfigError::TooSmall { field, value, min } => {
+                write!(f, "{field} must be at least {min}, got {value}")
+            }
+            ConfigError::Exceeds {
+                field,
+                value,
+                limit_field,
+                limit,
+            } => write!(
+                f,
+                "{field} ({value}) may not exceed {limit_field} ({limit})"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Checks that `value` is a nonzero power of two.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::NotPowerOfTwo`] otherwise.
+pub fn require_power_of_two(field: &'static str, value: u32) -> Result<(), ConfigError> {
+    if value == 0 || !value.is_power_of_two() {
+        return Err(ConfigError::NotPowerOfTwo { field, value });
+    }
+    Ok(())
+}
+
+/// Checks that `value` is a positive multiple of `multiple`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::NotMultipleOf`] otherwise.
+pub fn require_multiple_of(
+    field: &'static str,
+    value: u32,
+    multiple: u32,
+) -> Result<(), ConfigError> {
+    if value == 0 || !value.is_multiple_of(multiple) {
+        return Err(ConfigError::NotMultipleOf {
+            field,
+            value,
+            multiple,
+        });
+    }
+    Ok(())
+}
+
+/// Checks that `value >= min`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::TooSmall`] otherwise.
+pub fn require_at_least(field: &'static str, value: u64, min: u64) -> Result<(), ConfigError> {
+    if value < min {
+        return Err(ConfigError::TooSmall { field, value, min });
+    }
+    Ok(())
+}
+
+/// Checks that `value <= limit`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Exceeds`] otherwise.
+pub fn require_at_most(
+    field: &'static str,
+    value: u32,
+    limit_field: &'static str,
+    limit: u32,
+) -> Result<(), ConfigError> {
+    if value > limit {
+        return Err(ConfigError::Exceeds {
+            field,
+            value,
+            limit_field,
+            limit,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            require_power_of_two("size_bytes", 12)
+                .unwrap_err()
+                .to_string(),
+            "size_bytes must be a nonzero power of two, got 12"
+        );
+        assert_eq!(
+            require_multiple_of("iq_bytes", 3, 2)
+                .unwrap_err()
+                .to_string(),
+            "iq_bytes must be a positive multiple of 2, got 3"
+        );
+        assert_eq!(
+            require_at_least("access_cycles", 0, 1)
+                .unwrap_err()
+                .to_string(),
+            "access_cycles must be at least 1, got 0"
+        );
+        assert_eq!(
+            require_at_most("line_bytes", 32, "size_bytes", 16)
+                .unwrap_err()
+                .to_string(),
+            "line_bytes (32) may not exceed size_bytes (16)"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(require_at_least("x", 0, 1).unwrap_err());
+        assert!(e.to_string().contains("at least"));
+    }
+
+    #[test]
+    fn helpers_accept_valid_values() {
+        assert!(require_power_of_two("f", 64).is_ok());
+        assert!(require_multiple_of("f", 8, 2).is_ok());
+        assert!(require_at_least("f", 5, 1).is_ok());
+        assert!(require_at_most("f", 16, "g", 16).is_ok());
+    }
+}

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::error::{require_at_most, require_power_of_two, ConfigError};
+
 /// Geometry and timing of the finite external cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExternalCacheConfig {
@@ -25,19 +27,17 @@ impl ExternalCacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message for non-power-of-two or inconsistent sizes.
-    pub fn validate(&self) -> Result<(), String> {
-        for (name, v) in [("size_bytes", self.size_bytes), ("line_bytes", self.line_bytes)] {
-            if v == 0 || !v.is_power_of_two() {
-                return Err(format!(
-                    "external cache {name} must be a nonzero power of two, got {v}"
-                ));
-            }
-        }
-        if self.size_bytes < self.line_bytes {
-            return Err("external cache smaller than its line".into());
-        }
-        Ok(())
+    /// Returns a [`ConfigError`] for non-power-of-two or inconsistent
+    /// sizes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_power_of_two("external_cache.size_bytes", self.size_bytes)?;
+        require_power_of_two("external_cache.line_bytes", self.line_bytes)?;
+        require_at_most(
+            "external_cache.line_bytes",
+            self.line_bytes,
+            "external_cache.size_bytes",
+            self.size_bytes,
+        )
     }
 }
 

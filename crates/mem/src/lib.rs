@@ -42,6 +42,7 @@
 
 pub mod config;
 pub mod data;
+pub mod error;
 pub mod extcache;
 pub mod fpu;
 pub mod request;
@@ -50,6 +51,7 @@ pub mod system;
 
 pub use config::{MemConfig, PriorityPolicy};
 pub use data::DataMemory;
+pub use error::ConfigError;
 pub use extcache::{ExternalCache, ExternalCacheConfig};
 pub use fpu::{FpOp, Fpu};
 pub use request::{Beat, BeatSource, MemRequest, ReqClass};

@@ -304,8 +304,7 @@ impl MemorySystem {
                     if !self.fpu.owns(req.addr) {
                         if let Some(ec) = &mut self.ext_cache {
                             let misses = ec.access(req.addr, req.bytes);
-                            penalty =
-                                u64::from(misses) * u64::from(ec.config().miss_penalty);
+                            penalty = u64::from(misses) * u64::from(ec.config().miss_penalty);
                         }
                     }
                     match class {
@@ -324,9 +323,7 @@ impl MemorySystem {
                         _ => {
                             self.inflight.push_back(Inflight {
                                 req,
-                                first_beat_at: now
-                                    + u64::from(self.cfg.access_cycles)
-                                    + penalty,
+                                first_beat_at: now + u64::from(self.cfg.access_cycles) + penalty,
                             });
                         }
                     }
@@ -399,7 +396,10 @@ mod tests {
             let mut mem = MemorySystem::new(cfg(access, false, 4));
             mem.data_mut().write(0x100, 77);
             let tag = mem.new_tag();
-            let t0 = drive_until_accepted(&mut mem, MemRequest::load(ReqClass::DataLoad, 0x100, 4, tag));
+            let t0 = drive_until_accepted(
+                &mut mem,
+                MemRequest::load(ReqClass::DataLoad, 0x100, 4, tag),
+            );
             let (t1, beats) = drain_tag(&mut mem, tag);
             assert_eq!(t1 - t0, u64::from(access), "access={access}");
             assert_eq!(beats.len(), 1);
@@ -535,10 +535,7 @@ mod tests {
         let mut mem = MemorySystem::new(cfg(1, false, 4));
         let a = mem.new_tag();
         let b = mem.new_tag();
-        drive_until_accepted(
-            &mut mem,
-            MemRequest::store(FPU_BASE, 2.5f32.to_bits(), a),
-        );
+        drive_until_accepted(&mut mem, MemRequest::store(FPU_BASE, 2.5f32.to_bits(), a));
         let t_b = drive_until_accepted(
             &mut mem,
             MemRequest::store(FPU_BASE + 4, 4.0f32.to_bits(), b),
@@ -672,8 +669,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid MemConfig")]
     fn invalid_config_panics() {
-        let mut c = MemConfig::default();
-        c.access_cycles = 0;
+        let c = MemConfig {
+            access_cycles: 0,
+            ..MemConfig::default()
+        };
         let _ = MemorySystem::new(c);
     }
 }

@@ -199,7 +199,9 @@ fn kernel_ops(index: usize) -> Vec<KernelOp> {
             for g in 0..7u32 {
                 ops.push(l(g % 6, 0));
                 ops.push(fp(FpKind::Sub, Src::Queue, Src::Acc));
-                ops.push(KernelOp::Store { stream: (g + 1) % 6 });
+                ops.push(KernelOp::Store {
+                    stream: (g + 1) % 6,
+                });
             }
             ops.push(l(0, 1));
             ops.push(KernelOp::PopAcc);
@@ -401,7 +403,10 @@ impl LivermoreSuite {
                 }
             }
             for c in 0..4u32 {
-                b.data_word(region + CONST_AREA as u32 + c * 4, (0.5f32 * (c + 1) as f32).to_bits());
+                b.data_word(
+                    region + CONST_AREA as u32 + c * 4,
+                    (0.5f32 * (c + 1) as f32).to_bits(),
+                );
             }
         }
 
@@ -595,7 +600,10 @@ mod tests {
     fn half_the_loops_fit_in_128_bytes() {
         // The paper explains the knee at 128 bytes by half the inner loops
         // fitting in a 128-byte cache.
-        let n = TABLE1_INNER_LOOP_BYTES.iter().filter(|&&b| b <= 128).count();
+        let n = TABLE1_INNER_LOOP_BYTES
+            .iter()
+            .filter(|&&b| b <= 128)
+            .count();
         assert_eq!(n, 7);
     }
 }

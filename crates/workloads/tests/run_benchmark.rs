@@ -3,10 +3,10 @@
 
 use pipe_core::{run_program, FetchStrategy, SimConfig};
 use pipe_icache::{CacheConfig, PipeFetchConfig};
-use pipe_mem::MemConfig;
-use pipe_workloads::{livermore_benchmark, PAPER_TOTAL_INSTRUCTIONS};
-use pipe_workloads::livermore::single_kernel_program;
 use pipe_isa::InstrFormat;
+use pipe_mem::MemConfig;
+use pipe_workloads::livermore::single_kernel_program;
+use pipe_workloads::{livermore_benchmark, PAPER_TOTAL_INSTRUCTIONS};
 
 #[test]
 fn each_kernel_runs_standalone() {
@@ -34,7 +34,11 @@ fn full_benchmark_executes_exact_paper_count_perfect_fetch() {
     let stats = run_program(suite.program(), &cfg).expect("benchmark completes");
     assert_eq!(stats.instructions_issued, PAPER_TOTAL_INSTRUCTIONS);
     assert_eq!(stats.instructions_issued, suite.expected_instructions());
-    assert!(stats.fpu_ops > 10_000, "heavy FP traffic: {}", stats.fpu_ops);
+    assert!(
+        stats.fpu_ops > 10_000,
+        "heavy FP traffic: {}",
+        stats.fpu_ops
+    );
     assert!(stats.loads > 20_000, "heavy load traffic: {}", stats.loads);
 }
 
@@ -48,7 +52,7 @@ fn full_benchmark_on_pipe_and_conventional_engines() {
     };
     for fetch in [
         FetchStrategy::Pipe(PipeFetchConfig::table2(128, 16, 16, 16)),
-        FetchStrategy::Conventional(CacheConfig::new(128, 16)),
+        FetchStrategy::conventional(CacheConfig::new(128, 16)),
     ] {
         let cfg = SimConfig {
             fetch,
@@ -56,8 +60,7 @@ fn full_benchmark_on_pipe_and_conventional_engines() {
             max_cycles: 100_000_000,
             ..SimConfig::default()
         };
-        let stats =
-            run_program(suite.program(), &cfg).unwrap_or_else(|e| panic!("{fetch}: {e}"));
+        let stats = run_program(suite.program(), &cfg).unwrap_or_else(|e| panic!("{fetch}: {e}"));
         assert_eq!(
             stats.instructions_issued, PAPER_TOTAL_INSTRUCTIONS,
             "under {fetch}"

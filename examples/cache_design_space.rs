@@ -31,7 +31,7 @@ fn main() {
                 if size < 16 {
                     continue;
                 }
-                FetchStrategy::Conventional(CacheConfig::new(size, 16))
+                FetchStrategy::conventional(CacheConfig::new(size, 16))
             }
             _ => {
                 if size < 16 {

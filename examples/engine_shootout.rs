@@ -32,7 +32,7 @@ fn main() {
         ("perfect (lower bound)", FetchStrategy::Perfect),
         (
             "conventional cache (Hill always-prefetch)",
-            FetchStrategy::Conventional(CacheConfig::new(budget.max(16), 16)),
+            FetchStrategy::conventional(CacheConfig::new(budget.max(16), 16)),
         ),
         (
             "target instruction buffer (AMD29000-style)",

@@ -7,7 +7,7 @@
 //! cargo run --release --example fpu_pipeline
 //! ```
 
-use pipe_repro::isa::{FPU_OP_MUL, FPU_OPERAND_A};
+use pipe_repro::isa::{FPU_OPERAND_A, FPU_OP_MUL};
 use pipe_repro::prelude::*;
 
 fn main() {
@@ -76,7 +76,5 @@ fn main() {
         "data-wait stalls: {} (cycles the issue stage waited on the LDQ)",
         stats.stalls.data_wait
     );
-    println!(
-        "constants: FPU_OPERAND_A={FPU_OPERAND_A:#x}, FPU_OP_MUL={FPU_OP_MUL:#x}"
-    );
+    println!("constants: FPU_OPERAND_A={FPU_OPERAND_A:#x}, FPU_OP_MUL={FPU_OP_MUL:#x}");
 }

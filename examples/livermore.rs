@@ -36,7 +36,7 @@ fn main() {
     let configs: [(&str, FetchStrategy); 3] = [
         (
             "conventional 128B",
-            FetchStrategy::Conventional(CacheConfig::new(128, 16)),
+            FetchStrategy::conventional(CacheConfig::new(128, 16)),
         ),
         (
             "PIPE 128B (8-8, as built)",

@@ -9,8 +9,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use pipe_repro::core::{Processor, TextTrace, VecTrace};
 use pipe_repro::core::trace::TraceEvent;
+use pipe_repro::core::{Processor, TextTrace, VecTrace};
 use pipe_repro::prelude::*;
 
 fn main() {
@@ -56,7 +56,6 @@ fn main() {
             self.collect.event(e);
         }
     }
-    use pipe_repro::core::TraceSink;
 
     let mut proc = Processor::new(&program, &cfg).expect("valid config");
     proc.set_trace(Box::new(Tee {
@@ -71,7 +70,10 @@ fn main() {
         .iter()
         .filter(|e| matches!(e, TraceEvent::Stall { .. }))
         .count();
-    println!("\nsummary: {} cycles, {} instructions, {} stall events", stats.cycles, stats.instructions_issued, stalls);
+    println!(
+        "\nsummary: {} cycles, {} instructions, {} stall events",
+        stats.cycles, stats.instructions_issued, stalls
+    );
     println!(
         "stall breakdown: {} ifetch, {} data-wait, {} queue, {} branch",
         stats.stalls.ifetch, stats.stalls.data_wait, stats.stalls.queue_full, stats.stalls.branch

@@ -44,7 +44,7 @@ fn main() {
 
     // The same program under the conventional always-prefetch cache.
     let conventional = SimConfig {
-        fetch: FetchStrategy::Conventional(CacheConfig::new(128, 16)),
+        fetch: FetchStrategy::conventional(CacheConfig::new(128, 16)),
         ..SimConfig::default()
     };
     let conv = run_program(&program, &conventional).expect("runs");

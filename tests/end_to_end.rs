@@ -6,18 +6,14 @@ use pipe_repro::prelude::*;
 fn engines_for(cache_bytes: u32) -> Vec<FetchStrategy> {
     vec![
         FetchStrategy::Perfect,
-        FetchStrategy::Conventional(CacheConfig::new(cache_bytes, 16)),
+        FetchStrategy::conventional(CacheConfig::new(cache_bytes, 16)),
         FetchStrategy::Pipe(PipeFetchConfig::table2(cache_bytes, 8, 8, 8)),
         FetchStrategy::Pipe(PipeFetchConfig::table2(cache_bytes, 16, 16, 16)),
         FetchStrategy::Pipe(PipeFetchConfig::table2(cache_bytes, 32, 16, 32)),
     ]
 }
 
-fn run_on(
-    program: &Program,
-    fetch: FetchStrategy,
-    access: u32,
-) -> (SimStats, Vec<u32>, Vec<u32>) {
+fn run_on(program: &Program, fetch: FetchStrategy, access: u32) -> (SimStats, Vec<u32>, Vec<u32>) {
     let cfg = SimConfig {
         fetch,
         mem: pipe_repro::mem::MemConfig {
@@ -63,7 +59,10 @@ fn fibonacci_program_agrees_everywhere() {
             all.push(stats.instructions_issued);
         }
     }
-    assert!(all.windows(2).all(|w| w[0] == w[1]), "same instruction count");
+    assert!(
+        all.windows(2).all(|w| w[0] == w[1]),
+        "same instruction count"
+    );
 }
 
 #[test]
@@ -97,7 +96,8 @@ fn store_stream_agrees_everywhere() {
 
 #[test]
 fn mixed_format_programs_run_on_all_engines() {
-    let source = "lim r1, 8\nlbr b0, top\ntop: add r2, r2, r1\nsubi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n";
+    let source =
+        "lim r1, 8\nlbr b0, top\ntop: add r2, r2, r1\nsubi r1, r1, 1\npbr.nez b0, r1, 0\nhalt\n";
     let program = Assembler::new(InstrFormat::Mixed).assemble(source).unwrap();
     for fetch in engines_for(32) {
         let (stats, regs, _) = run_on(&program, fetch, 2);

@@ -31,7 +31,7 @@ fn unpaired_store_address_times_out() {
 fn queue_read_without_producer_times_out_on_every_engine() {
     for fetch in [
         FetchStrategy::Perfect,
-        FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+        FetchStrategy::conventional(CacheConfig::new(32, 16)),
         FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
     ] {
         let err = quick("or r1, r7, r7\nhalt\n", fetch).unwrap_err();
@@ -55,7 +55,7 @@ fn running_off_the_image_times_out_not_panics() {
     // forever — a timeout, never a panic.
     for fetch in [
         FetchStrategy::Perfect,
-        FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+        FetchStrategy::conventional(CacheConfig::new(32, 16)),
         FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
     ] {
         let err = quick("nop\nnop\nnop\n", fetch).unwrap_err();
@@ -67,7 +67,7 @@ fn running_off_the_image_times_out_not_panics() {
 fn invalid_configurations_rejected_up_front() {
     let program = asm("halt\n");
     let bad_cache = SimConfig {
-        fetch: FetchStrategy::Conventional(CacheConfig::new(24, 16)),
+        fetch: FetchStrategy::conventional(CacheConfig::new(24, 16)),
         ..SimConfig::default()
     };
     assert!(matches!(
@@ -94,7 +94,10 @@ fn branch_to_garbage_is_a_timeout() {
     // re-executes from the top forever (no counter change) until the
     // budget runs out. Must be a timeout, not a hang or panic.
     let src = "lim r1, 1\npbr b0, r1, 0\nhalt\n";
-    let err = quick(src, FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)));
+    let err = quick(
+        src,
+        FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
+    );
     assert!(matches!(err, Err(SimError::Timeout { .. })));
 }
 

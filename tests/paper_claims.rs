@@ -36,7 +36,7 @@ fn pipe(cache: u32, line: u32, iq: u32, iqb: u32) -> FetchStrategy {
 }
 
 fn conventional(cache: u32) -> FetchStrategy {
-    FetchStrategy::Conventional(CacheConfig::new(cache, 16))
+    FetchStrategy::conventional(CacheConfig::new(cache, 16))
 }
 
 /// §6: "For a memory access time larger than 1 clock cycle, all PIPE
@@ -195,7 +195,10 @@ fn knee_sits_at_the_inner_loop_sizes() {
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(i, _)| sizes[i + 1])
         .expect("gains nonempty");
-    assert_eq!(knee, 256, "largest gain crossing into 256B; gains {gains:?}");
+    assert_eq!(
+        knee, 256,
+        "largest gain crossing into 256B; gains {gains:?}"
+    );
 }
 
 /// §6: growing the cache helps both strategies (monotone curves), and a

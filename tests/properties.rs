@@ -1,7 +1,10 @@
-//! Property-based tests over core data structures and cross-engine
+//! Property-style tests over core data structures and cross-engine
 //! architectural equivalence.
-
-use proptest::prelude::*;
+//!
+//! Inputs are generated with a small deterministic PRNG (SplitMix64)
+//! rather than an external property-testing crate, so the suite runs with
+//! no registry dependencies and every failure is reproducible from the
+//! fixed seeds below.
 
 use pipe_repro::core::{FetchStrategy, Processor, SimConfig};
 use pipe_repro::icache::{CacheConfig, InstructionCache, PipeFetchConfig};
@@ -11,134 +14,225 @@ use pipe_repro::isa::{
 use pipe_repro::mem::{MemConfig, MemRequest, MemorySystem, ReqClass};
 
 // ---------------------------------------------------------------------
+// Deterministic generation.
+// ---------------------------------------------------------------------
+
+/// SplitMix64: tiny, seedable, and statistically good enough for test
+/// input generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn range_u32(&mut self, lo: u32, hi_exclusive: u32) -> u32 {
+        lo + self.below((hi_exclusive - lo) as u64) as u32
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn i16(&mut self) -> i16 {
+        self.next() as i16
+    }
+
+    fn u16(&mut self) -> u16 {
+        self.next() as u16
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg::new(self.below(8) as u8)
+    }
+
+    fn breg(&mut self) -> BranchReg {
+        BranchReg::new(self.below(8) as u8)
+    }
+
+    fn alu_op(&mut self) -> AluOp {
+        const OPS: [AluOp; 8] = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+        ];
+        OPS[self.below(8) as usize]
+    }
+
+    fn cond(&mut self) -> Cond {
+        const CONDS: [Cond; 6] = [
+            Cond::Always,
+            Cond::Eqz,
+            Cond::Nez,
+            Cond::Gtz,
+            Cond::Ltz,
+            Cond::Never,
+        ];
+        CONDS[self.below(6) as usize]
+    }
+
+    fn instruction(&mut self) -> Instruction {
+        match self.below(12) {
+            0 => Instruction::Nop,
+            1 => Instruction::Halt,
+            2 => Instruction::Xchg,
+            3 => Instruction::Alu {
+                op: self.alu_op(),
+                rd: self.reg(),
+                rs1: self.reg(),
+                rs2: self.reg(),
+            },
+            4 => Instruction::AluImm {
+                op: self.alu_op(),
+                rd: self.reg(),
+                rs1: self.reg(),
+                imm: self.i16(),
+            },
+            5 => Instruction::Lim {
+                rd: self.reg(),
+                imm: self.i16(),
+            },
+            6 => Instruction::Lui {
+                rd: self.reg(),
+                imm: self.u16(),
+            },
+            7 => Instruction::Load {
+                base: self.reg(),
+                disp: self.i16(),
+            },
+            8 => Instruction::StoreAddr {
+                base: self.reg(),
+                disp: self.i16(),
+            },
+            9 => Instruction::Lbr {
+                br: self.breg(),
+                target_parcel: self.u16(),
+            },
+            10 => Instruction::LbrReg {
+                br: self.breg(),
+                rs1: self.reg(),
+            },
+            _ => Instruction::Pbr {
+                cond: self.cond(),
+                br: self.breg(),
+                rs: self.reg(),
+                delay: self.below(8) as u8,
+            },
+        }
+    }
+
+    fn instructions(&mut self, lo: usize, hi: usize) -> Vec<Instruction> {
+        let n = lo + self.below((hi - lo) as u64) as usize;
+        (0..n).map(|_| self.instruction()).collect()
+    }
+
+    fn format(&mut self) -> InstrFormat {
+        if self.bool() {
+            InstrFormat::Fixed32
+        } else {
+            InstrFormat::Mixed
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // ISA: encode/decode round-trip over the full instruction space.
 // ---------------------------------------------------------------------
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..8).prop_map(Reg::new)
-}
-
-fn arb_breg() -> impl Strategy<Value = BranchReg> {
-    (0u8..8).prop_map(BranchReg::new)
-}
-
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-    ]
-}
-
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Always),
-        Just(Cond::Eqz),
-        Just(Cond::Nez),
-        Just(Cond::Gtz),
-        Just(Cond::Ltz),
-        Just(Cond::Never),
-    ]
-}
-
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        Just(Instruction::Nop),
-        Just(Instruction::Halt),
-        Just(Instruction::Xchg),
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
-        (arb_alu_op(), arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(op, rd, rs1, imm)| Instruction::AluImm { op, rd, rs1, imm }),
-        (arb_reg(), any::<i16>()).prop_map(|(rd, imm)| Instruction::Lim { rd, imm }),
-        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
-        (arb_reg(), any::<i16>()).prop_map(|(base, disp)| Instruction::Load { base, disp }),
-        (arb_reg(), any::<i16>()).prop_map(|(base, disp)| Instruction::StoreAddr { base, disp }),
-        (arb_breg(), any::<u16>())
-            .prop_map(|(br, target_parcel)| Instruction::Lbr { br, target_parcel }),
-        (arb_breg(), arb_reg()).prop_map(|(br, rs1)| Instruction::LbrReg { br, rs1 }),
-        (arb_cond(), arb_breg(), arb_reg(), 0u8..8).prop_map(|(cond, br, rs, delay)| {
-            Instruction::Pbr {
-                cond,
-                br,
-                rs,
-                delay,
-            }
-        }),
-    ]
-}
-
-proptest! {
-    /// Ties the whole ISA toolchain together: the `Display` form of any
-    /// instruction is valid assembler syntax that round-trips through the
-    /// text assembler, the encoder, and the decoder.
-    #[test]
-    fn display_assembles_back_to_the_same_instruction(
-        instrs in proptest::collection::vec(arb_instruction(), 1..40),
-        fixed in any::<bool>(),
-    ) {
-        let format = if fixed { InstrFormat::Fixed32 } else { InstrFormat::Mixed };
-        let source: String = instrs
-            .iter()
-            .map(|i| format!("{i}\n"))
-            .collect();
+/// Ties the whole ISA toolchain together: the `Display` form of any
+/// instruction is valid assembler syntax that round-trips through the
+/// text assembler, the encoder, and the decoder.
+#[test]
+fn display_assembles_back_to_the_same_instruction() {
+    let mut rng = Rng::new(0x1501);
+    for _ in 0..256 {
+        let instrs = rng.instructions(1, 40);
+        let format = rng.format();
+        let source: String = instrs.iter().map(|i| format!("{i}\n")).collect();
         let program = pipe_repro::isa::Assembler::new(format)
             .assemble(&source)
             .expect("display output assembles");
         let decoded: Vec<Instruction> = program.instructions().map(|(_, i)| i).collect();
-        prop_assert_eq!(decoded, instrs);
+        assert_eq!(decoded, instrs, "source:\n{source}");
     }
+}
 
-    #[test]
-    fn binfmt_roundtrips_any_program(
-        instrs in proptest::collection::vec(arb_instruction(), 1..60),
-        data in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..10),
-        fixed in any::<bool>(),
-    ) {
-        let format = if fixed { InstrFormat::Fixed32 } else { InstrFormat::Mixed };
+#[test]
+fn binfmt_roundtrips_any_program() {
+    let mut rng = Rng::new(0x1502);
+    for _ in 0..256 {
+        let instrs = rng.instructions(1, 60);
+        let format = rng.format();
         let mut b = ProgramBuilder::new(format);
         b.extend(instrs.iter().copied());
-        for &(addr, value) in &data {
-            b.data_word(addr, value);
+        let n_data = rng.below(10);
+        for _ in 0..n_data {
+            b.data_word(rng.next() as u32, rng.next() as u32);
         }
         b.label("end");
         let program = b.build().expect("builds");
         let bytes = pipe_repro::isa::write_program(&program);
         let loaded = pipe_repro::isa::read_program(&bytes).expect("loads");
-        prop_assert_eq!(loaded.parcels(), program.parcels());
-        prop_assert_eq!(loaded.symbols(), program.symbols());
-        prop_assert_eq!(loaded.data(), program.data());
-        prop_assert_eq!(loaded.format(), program.format());
+        assert_eq!(loaded.parcels(), program.parcels());
+        assert_eq!(loaded.symbols(), program.symbols());
+        assert_eq!(loaded.data(), program.data());
+        assert_eq!(loaded.format(), program.format());
     }
+}
 
-    #[test]
-    fn encode_decode_roundtrip(instr in arb_instruction(), fixed in any::<bool>()) {
-        let format = if fixed { InstrFormat::Fixed32 } else { InstrFormat::Mixed };
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng::new(0x1503);
+    for _ in 0..2048 {
+        let instr = rng.instruction();
+        let format = rng.format();
         let e = encode(&instr, format);
         let p = e.parcels();
         let decoded = decode(p[0], p.get(1).copied()).expect("decodes");
-        prop_assert_eq!(decoded, instr);
+        assert_eq!(decoded, instr);
     }
+}
 
-    #[test]
-    fn encoded_size_matches_declared_size(instr in arb_instruction()) {
+#[test]
+fn encoded_size_matches_declared_size() {
+    let mut rng = Rng::new(0x1504);
+    for _ in 0..2048 {
+        let instr = rng.instruction();
         for format in InstrFormat::ALL {
             let e = encode(&instr, format);
-            prop_assert_eq!(e.len() as u32, instr.size_parcels(format));
+            assert_eq!(e.len() as u32, instr.size_parcels(format), "{instr}");
         }
     }
+}
 
-    #[test]
-    fn branch_bit_iff_pbr(instr in arb_instruction()) {
+#[test]
+fn branch_bit_iff_pbr() {
+    let mut rng = Rng::new(0x1505);
+    for _ in 0..2048 {
+        let instr = rng.instruction();
         let e = encode(&instr, InstrFormat::Fixed32);
-        prop_assert_eq!(
+        assert_eq!(
             pipe_repro::isa::encode::parcel_is_branch(e.parcels()[0]),
-            instr.is_branch()
+            instr.is_branch(),
+            "{instr}"
         );
     }
 }
@@ -151,20 +245,6 @@ proptest! {
 enum CacheOp {
     Fill { addr: u32, bytes: u32 },
     Check { addr: u32, bytes: u32 },
-}
-
-fn arb_cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    let op = prop_oneof![
-        ((0u32..1024), (1u32..=3)).prop_map(|(a, w)| CacheOp::Fill {
-            addr: a * 2,
-            bytes: w * 4
-        }),
-        ((0u32..1024), (1u32..=2)).prop_map(|(a, w)| CacheOp::Check {
-            addr: a * 2,
-            bytes: w * 2
-        }),
-    ];
-    proptest::collection::vec(op, 1..200)
 }
 
 /// Naive reference: per 4-byte sub-block, remember which tag is valid.
@@ -205,14 +285,30 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #[test]
-    fn cache_matches_reference_model(ops in arb_cache_ops(), size_pow in 4u32..10, line_pow in 3u32..6) {
-        let size = 1u32 << size_pow;
-        let line = (1u32 << line_pow).min(size);
+#[test]
+fn cache_matches_reference_model() {
+    let mut rng = Rng::new(0x1506);
+    for _ in 0..64 {
+        let size = 1u32 << rng.range_u32(4, 10);
+        let line = (1u32 << rng.range_u32(3, 6)).min(size);
         let cfg = CacheConfig::new(size, line);
         let mut cache = InstructionCache::new(cfg);
         let mut reference = RefCache::default();
+        let ops: Vec<CacheOp> = (0..rng.range_u32(1, 200))
+            .map(|_| {
+                if rng.bool() {
+                    CacheOp::Fill {
+                        addr: rng.range_u32(0, 1024) * 2,
+                        bytes: rng.range_u32(1, 4) * 4,
+                    }
+                } else {
+                    CacheOp::Check {
+                        addr: rng.range_u32(0, 1024) * 2,
+                        bytes: rng.range_u32(1, 3) * 2,
+                    }
+                }
+            })
+            .collect();
         for op in &ops {
             match *op {
                 CacheOp::Fill { addr, bytes } => {
@@ -223,10 +319,10 @@ proptest! {
                     // Keep the probe within one line, as the cache requires.
                     let line_end = cfg.line_base(addr) + cfg.line_bytes;
                     let bytes = bytes.min(line_end - addr);
-                    prop_assert_eq!(
+                    assert_eq!(
                         cache.contains(addr, bytes),
                         reference.contains(&cfg, addr, bytes),
-                        "at {:#x}+{}", addr, bytes
+                        "at {addr:#x}+{bytes} ({size}B cache, {line}B lines)"
                     );
                 }
             }
@@ -238,14 +334,17 @@ proptest! {
 // Memory system: conservation and completeness of responses.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn every_accepted_read_is_fully_delivered(
-        sizes in proptest::collection::vec(1u32..=8, 1..20),
-        access in 1u32..=6,
-        pipelined in any::<bool>(),
-        wide_bus in any::<bool>(),
-    ) {
+#[test]
+fn every_accepted_read_is_fully_delivered() {
+    let mut rng = Rng::new(0x1507);
+    for _ in 0..64 {
+        let access = rng.range_u32(1, 7);
+        let pipelined = rng.bool();
+        let wide_bus = rng.bool();
+        let sizes: Vec<u32> = (0..rng.range_u32(1, 20))
+            .map(|_| rng.range_u32(1, 9))
+            .collect();
+
         let mut mem = MemorySystem::new(MemConfig {
             access_cycles: access,
             pipelined,
@@ -259,7 +358,12 @@ proptest! {
             // Re-offer until accepted.
             let mut accepted = false;
             for _ in 0..200 {
-                mem.offer(MemRequest::load(ReqClass::IFetch, (i as u32) * 64, parcels * 2, tag));
+                mem.offer(MemRequest::load(
+                    ReqClass::IFetch,
+                    (i as u32) * 64,
+                    parcels * 2,
+                    tag,
+                ));
                 let out = mem.tick();
                 if out.accepted.contains(&tag) {
                     accepted = true;
@@ -268,7 +372,7 @@ proptest! {
                     if let Some(entry) = queue.iter_mut().find(|(t, _)| *t == b.tag) {
                         entry.1 = entry.1.saturating_sub(b.bytes);
                         if b.last {
-                            prop_assert_eq!(entry.1, 0, "last beat must complete the transfer");
+                            assert_eq!(entry.1, 0, "last beat must complete the transfer");
                         }
                     }
                 }
@@ -276,7 +380,7 @@ proptest! {
                     break;
                 }
             }
-            prop_assert!(accepted, "request {i} never accepted");
+            assert!(accepted, "request {i} never accepted");
         }
         // Drain everything.
         for _ in 0..2000 {
@@ -290,9 +394,9 @@ proptest! {
                 }
             }
         }
-        prop_assert!(mem.is_idle(), "memory never drained");
+        assert!(mem.is_idle(), "memory never drained");
         for (tag, remaining) in queue {
-            prop_assert_eq!(remaining, 0, "tag {} shorted", tag);
+            assert_eq!(remaining, 0, "tag {tag} shorted");
         }
     }
 }
@@ -306,70 +410,86 @@ use pipe_repro::workloads::{kernel_program, FpKind, Kernel, KernelOp, Src};
 
 /// Balanced op groups: each leaves the LDQ empty, so any concatenation
 /// satisfies the queue discipline by construction.
-fn arb_kernel_group() -> impl Strategy<Value = Vec<KernelOp>> {
+fn kernel_group(rng: &mut Rng) -> Vec<KernelOp> {
     let load = |s: u32, off: i16| KernelOp::Load {
         stream: s,
         elem_off: off,
     };
-    prop_oneof![
+    match rng.below(6) {
         // load; acc op; store result
-        ((0u32..7), (0i16..4)).prop_map(move |(s, off)| vec![
-            load(s, off),
-            KernelOp::Fp {
-                kind: FpKind::Add,
-                a: Src::Queue,
-                b: Src::Acc
-            },
-            KernelOp::Store { stream: (s + 1) % 7 },
-        ]),
+        0 => {
+            let s = rng.range_u32(0, 7);
+            let off = rng.below(4) as i16;
+            vec![
+                load(s, off),
+                KernelOp::Fp {
+                    kind: FpKind::Add,
+                    a: Src::Queue,
+                    b: Src::Acc,
+                },
+                KernelOp::Store {
+                    stream: (s + 1) % 7,
+                },
+            ]
+        }
         // two loads; multiply; store
-        ((0u32..6), (0u32..6)).prop_map(move |(a, b)| vec![
-            load(a, 0),
-            load(b, 1),
-            KernelOp::Fp {
-                kind: FpKind::Mul,
-                a: Src::Queue,
-                b: Src::Queue
-            },
-            KernelOp::Store { stream: 6 },
-        ]),
+        1 => {
+            let a = rng.range_u32(0, 6);
+            let b = rng.range_u32(0, 6);
+            vec![
+                load(a, 0),
+                load(b, 1),
+                KernelOp::Fp {
+                    kind: FpKind::Mul,
+                    a: Src::Queue,
+                    b: Src::Queue,
+                },
+                KernelOp::Store { stream: 6 },
+            ]
+        }
         // multiply-accumulate
-        ((0u32..6),).prop_map(move |(a,)| vec![
-            load(a, 0),
-            load((a + 2) % 6, 0),
-            KernelOp::Fp {
-                kind: FpKind::Sub,
-                a: Src::Queue,
-                b: Src::Queue
-            },
-            KernelOp::Fp {
-                kind: FpKind::Add,
-                a: Src::Acc,
-                b: Src::Queue
-            },
-            KernelOp::PopAcc,
-        ]),
+        2 => {
+            let a = rng.range_u32(0, 6);
+            vec![
+                load(a, 0),
+                load((a + 2) % 6, 0),
+                KernelOp::Fp {
+                    kind: FpKind::Sub,
+                    a: Src::Queue,
+                    b: Src::Queue,
+                },
+                KernelOp::Fp {
+                    kind: FpKind::Add,
+                    a: Src::Acc,
+                    b: Src::Queue,
+                },
+                KernelOp::PopAcc,
+            ]
+        }
         // constant consumption
-        ((0u16..4),).prop_map(|(c,)| vec![
-            KernelOp::LoadConst { idx: c },
+        3 => vec![
+            KernelOp::LoadConst {
+                idx: rng.below(4) as u16,
+            },
             KernelOp::PopAcc,
-        ]),
+        ],
         // store the accumulator
-        ((0u32..7),).prop_map(|(s,)| vec![KernelOp::StoreAcc { stream: s }]),
-        Just(vec![KernelOp::Pad]),
-    ]
+        4 => vec![KernelOp::StoreAcc {
+            stream: rng.range_u32(0, 7),
+        }],
+        _ => vec![KernelOp::Pad],
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn random_kernels_agree_between_interpreter_and_processor(
-        groups in proptest::collection::vec(arb_kernel_group(), 1..8),
-        trips in 2u32..8,
-        pads in 3u32..8,
-        access in 1u32..=6,
-    ) {
-        let ops: Vec<KernelOp> = groups.into_iter().flatten().collect();
+#[test]
+fn random_kernels_agree_between_interpreter_and_processor() {
+    let mut rng = Rng::new(0x1508);
+    for _ in 0..24 {
+        let groups = rng.range_u32(1, 8);
+        let ops: Vec<KernelOp> = (0..groups).flat_map(|_| kernel_group(&mut rng)).collect();
+        let trips = rng.range_u32(2, 8);
+        let pads = rng.range_u32(3, 8);
+        let access = rng.range_u32(1, 7);
         let cost: u32 = ops.iter().map(|o| o.cost()).sum();
         let kernel = Kernel {
             index: 99,
@@ -383,20 +503,23 @@ proptest! {
         let reference = interpret(&program, 1_000_000).expect("interprets");
         for fetch in [
             FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
-            FetchStrategy::Conventional(CacheConfig::new(32, 16)),
+            FetchStrategy::conventional(CacheConfig::new(32, 16)),
         ] {
             let cfg = SimConfig {
                 fetch,
-                mem: MemConfig { access_cycles: access, ..MemConfig::default() },
+                mem: MemConfig {
+                    access_cycles: access,
+                    ..MemConfig::default()
+                },
                 max_cycles: 50_000_000,
                 ..SimConfig::default()
             };
             let mut proc = Processor::new(&program, &cfg).expect("valid");
             let stats = proc.run().expect("runs");
-            prop_assert_eq!(stats.instructions_issued, reference.instructions);
-            prop_assert_eq!(stats.fpu_ops, reference.fpu_ops);
-            prop_assert_eq!(stats.loads, reference.loads);
-            prop_assert!(proc.mem().data() == &reference.memory, "memory diverged");
+            assert_eq!(stats.instructions_issued, reference.instructions);
+            assert_eq!(stats.fpu_ops, reference.fpu_ops);
+            assert_eq!(stats.loads, reference.loads);
+            assert!(proc.mem().data() == &reference.memory, "memory diverged");
         }
     }
 }
@@ -405,42 +528,40 @@ proptest! {
 // Cross-engine architectural equivalence on random ALU programs.
 // ---------------------------------------------------------------------
 
-fn arb_branchless_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        Just(Instruction::Nop),
-        Just(Instruction::Xchg),
-        (arb_alu_op(), 0u8..7, 0u8..7, 0u8..7).prop_map(|(op, rd, rs1, rs2)| Instruction::Alu {
-            op,
-            rd: Reg::new(rd),
-            rs1: Reg::new(rs1),
-            rs2: Reg::new(rs2)
-        }),
-        (arb_alu_op(), 0u8..7, 0u8..7, any::<i16>()).prop_map(|(op, rd, rs1, imm)| {
-            Instruction::AluImm {
-                op,
-                rd: Reg::new(rd),
-                rs1: Reg::new(rs1),
-                imm,
-            }
-        }),
-        (0u8..7, any::<i16>()).prop_map(|(rd, imm)| Instruction::Lim {
-            rd: Reg::new(rd),
-            imm
-        }),
-        (0u8..7, any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui {
-            rd: Reg::new(rd),
-            imm
-        }),
-    ]
+fn branchless_instruction(rng: &mut Rng) -> Instruction {
+    match rng.below(6) {
+        0 => Instruction::Nop,
+        1 => Instruction::Xchg,
+        2 => Instruction::Alu {
+            op: rng.alu_op(),
+            rd: Reg::new(rng.below(7) as u8),
+            rs1: Reg::new(rng.below(7) as u8),
+            rs2: Reg::new(rng.below(7) as u8),
+        },
+        3 => Instruction::AluImm {
+            op: rng.alu_op(),
+            rd: Reg::new(rng.below(7) as u8),
+            rs1: Reg::new(rng.below(7) as u8),
+            imm: rng.i16(),
+        },
+        4 => Instruction::Lim {
+            rd: Reg::new(rng.below(7) as u8),
+            imm: rng.i16(),
+        },
+        _ => Instruction::Lui {
+            rd: Reg::new(rng.below(7) as u8),
+            imm: rng.u16(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn engines_agree_on_random_alu_programs(
-        instrs in proptest::collection::vec(arb_branchless_instruction(), 1..120),
-        access in 1u32..=6,
-    ) {
+#[test]
+fn engines_agree_on_random_alu_programs() {
+    let mut rng = Rng::new(0x1509);
+    for _ in 0..48 {
+        let n = rng.range_u32(1, 120) as usize;
+        let instrs: Vec<Instruction> = (0..n).map(|_| branchless_instruction(&mut rng)).collect();
+        let access = rng.range_u32(1, 7);
         let mut b = ProgramBuilder::new(InstrFormat::Fixed32);
         b.extend(instrs.iter().copied());
         b.push(Instruction::Halt);
@@ -449,21 +570,24 @@ proptest! {
         let mut results: Vec<Vec<u32>> = Vec::new();
         for fetch in [
             FetchStrategy::Perfect,
-            FetchStrategy::Conventional(CacheConfig::new(64, 16)),
+            FetchStrategy::conventional(CacheConfig::new(64, 16)),
             FetchStrategy::Pipe(PipeFetchConfig::table2(64, 16, 16, 16)),
         ] {
             let cfg = SimConfig {
                 fetch,
-                mem: MemConfig { access_cycles: access, ..MemConfig::default() },
+                mem: MemConfig {
+                    access_cycles: access,
+                    ..MemConfig::default()
+                },
                 max_cycles: 10_000_000,
                 ..SimConfig::default()
             };
             let mut proc = Processor::new(&program, &cfg).expect("valid");
             let stats = proc.run().expect("runs");
-            prop_assert_eq!(stats.instructions_issued, instrs.len() as u64 + 1);
+            assert_eq!(stats.instructions_issued, instrs.len() as u64 + 1);
             results.push((0..7).map(|i| proc.regs().read(Reg::new(i))).collect());
         }
-        prop_assert_eq!(&results[0], &results[1]);
-        prop_assert_eq!(&results[0], &results[2]);
+        assert_eq!(&results[0], &results[1]);
+        assert_eq!(&results[0], &results[2]);
     }
 }
