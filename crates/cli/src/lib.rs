@@ -47,6 +47,15 @@ pub struct SimOptions {
     pub resume: bool,
     /// Result-store root directory for `--sweep` (default `results`).
     pub store_dir: Option<String>,
+    /// With `--sweep`, fail fast: the first failed point aborts the sweep
+    /// and exits nonzero. Without it, failed points are reported and the
+    /// rest of the sweep completes (exit 0).
+    pub strict: bool,
+    /// JSONL event-log root for `--sweep` (defaults to the store root
+    /// when a store is in use).
+    pub events_dir: Option<String>,
+    /// Fault injection for `--sweep` (test/diagnostic hooks).
+    pub inject: pipe_experiments::FaultInjection,
 }
 
 /// The usage string for `pipe-sim`.
@@ -54,6 +63,7 @@ pub const SIM_USAGE: &str = "\
 usage: pipe-sim <program.s> [options]
        pipe-sim --livermore [options]
        pipe-sim --sweep 4a|4b|5a|5b|6a|6b [--jobs N] [--resume] [--store DIR]
+                [--strict] [--events DIR]
 
 fetch strategy:
   --fetch pipe|conventional|tib|buffers|perfect   (default: pipe)
@@ -83,6 +93,15 @@ sweep mode (parallel experiment engine):
   --jobs N             worker threads (cycle counts identical to serial)
   --resume             skip points already in the result store
   --store DIR          result-store root             (default: results)
+  --strict             fail fast: abort on the first failed point and
+                       exit nonzero (default: report failures, finish the
+                       rest, exit 0)
+  --events DIR         write a JSONL event log to DIR/events/<run>.jsonl
+                       (default: the store root, when a store is in use)
+  --inject-panic N     fault injection (testing): panic while simulating
+                       sweep job N
+  --inject-store-fail N  fault injection (testing): fail every store
+                       write for sweep job N
 ";
 
 fn parse_num(flag: &str, value: Option<&String>) -> Result<u32, String> {
@@ -116,6 +135,9 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
     let mut jobs = 1usize;
     let mut resume = false;
     let mut store_dir = None;
+    let mut strict = false;
+    let mut events_dir = None;
+    let mut inject = pipe_experiments::FaultInjection::default();
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -167,6 +189,20 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
             "--resume" => resume = true,
             "--store" => {
                 store_dir = Some(it.next().ok_or("--store needs a directory")?.clone());
+            }
+            "--strict" => strict = true,
+            "--events" => {
+                events_dir = Some(it.next().ok_or("--events needs a directory")?.clone());
+            }
+            "--inject-panic" => {
+                inject
+                    .panic_jobs
+                    .push(parse_num("--inject-panic", it.next())? as usize);
+            }
+            "--inject-store-fail" => {
+                inject
+                    .store_fail_jobs
+                    .push(parse_num("--inject-store-fail", it.next())? as usize);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             path => {
@@ -226,28 +262,55 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
         jobs,
         resume,
         store_dir,
+        strict,
+        events_dir,
+        inject,
     })
 }
 
 /// Runs a `--sweep` figure reproduction on the parallel sweep engine and
-/// returns the rendered table.
+/// returns the rendered table. Fault-tolerant by default: failed points
+/// are listed below the table (and marked `-` in it) while every other
+/// point completes. Under `--strict` the first failure aborts the sweep
+/// and returns an error.
 ///
 /// # Errors
 ///
-/// Returns a user-facing message if the result store cannot be opened.
+/// Returns a user-facing message if the result store cannot be opened,
+/// or if the sweep is strict and a point failed.
 pub fn run_sweep(opts: &SimOptions) -> Result<String, String> {
     let id = opts.sweep.as_deref().expect("sweep mode");
     let mut runner = pipe_experiments::SweepRunner::new()
         .jobs(opts.jobs)
-        .progress(true);
-    if opts.resume || opts.store_dir.is_some() {
+        .progress(true)
+        .strict(opts.strict)
+        .inject(opts.inject.clone());
+    let store_root = if opts.resume || opts.store_dir.is_some() {
         let root = std::path::PathBuf::from(opts.store_dir.as_deref().unwrap_or("results"));
         let store = pipe_experiments::ResultStore::open(&root)
             .map_err(|e| format!("cannot open result store {}: {e}", root.display()))?;
         runner = runner.store(store).resume(opts.resume);
+        Some(root)
+    } else {
+        None
+    };
+    if let Some(events) = opts
+        .events_dir
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .or(store_root)
+    {
+        runner = runner.events(events);
     }
-    let fig = pipe_experiments::figure_with(id, &runner);
-    Ok(pipe_experiments::render_text(&fig))
+    let run = pipe_experiments::try_figure_with(id, &runner).map_err(|e| e.to_string())?;
+    let mut out = pipe_experiments::render_text(&run.figure);
+    out.push_str(&pipe_experiments::render_failures(run.failed()));
+    // Diagnostics go to stderr so stdout stays diffable against a
+    // serial, store-less run.
+    if let Some(path) = &run.outcome.events_path {
+        eprintln!("  [events written to {}]", path.display());
+    }
+    Ok(out)
 }
 
 /// Serializes run statistics as a JSON object (hand-rolled; the stats are
@@ -504,6 +567,27 @@ mod tests {
         assert_eq!(o.format, InstrFormat::Mixed);
         assert!(o.hex);
         assert!(parse_asm_args(&args("--hex")).is_err());
+    }
+
+    #[test]
+    fn sweep_fault_tolerance_flags() {
+        let o = parse_sim_args(&args(
+            "--sweep 4a --jobs 2 --strict --events evdir --inject-panic 3 --inject-store-fail 5",
+        ))
+        .unwrap();
+        assert_eq!(o.sweep.as_deref(), Some("4a"));
+        assert!(o.strict);
+        assert_eq!(o.events_dir.as_deref(), Some("evdir"));
+        assert_eq!(o.inject.panic_jobs, vec![3]);
+        assert_eq!(o.inject.store_fail_jobs, vec![5]);
+
+        // Defaults: fault-tolerant, no events, no injection.
+        let o = parse_sim_args(&args("--sweep 4a")).unwrap();
+        assert!(!o.strict);
+        assert!(o.events_dir.is_none());
+        assert!(o.inject.is_empty());
+        assert!(parse_sim_args(&args("--sweep 4a --inject-panic")).is_err());
+        assert!(parse_sim_args(&args("--sweep 4a --events")).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!       [--ablation-access] [--ablation-priority] [--ablation-prefetch]
 //!       [--ablation-format] [--check] [--csv-dir DIR]
 //!       [--jobs N] [--resume] [--store DIR] [--progress]
+//!       [--strict] [--events DIR]
 //! ```
 //!
 //! With no arguments, runs everything except the ablations. `--check`
@@ -17,14 +18,21 @@
 //! content-addressed store under DIR (default `results/`), and
 //! `--resume` loads previously stored points instead of re-simulating
 //! them. `--progress` prints one line per point with its wall time.
+//!
+//! Sweeps are fault-tolerant: a failed point is reported (and marked
+//! missing in the table) while every other point completes, and the run
+//! exits 0. `--strict` restores fail-fast semantics — the first failed
+//! point aborts with a nonzero exit. `--events DIR` appends a structured
+//! JSONL event log per figure to `DIR/events/` (defaults to the store
+//! root when a store is in use).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pipe_experiments::figures::{ablation, figure_with, Figure, ALL_ABLATIONS, ALL_FIGURES};
-use pipe_experiments::report::{check_expectations, render_csv, render_text};
+use pipe_experiments::figures::{ablation, try_figure_with, Figure, ALL_ABLATIONS, ALL_FIGURES};
+use pipe_experiments::report::{check_expectations, render_csv, render_failures, render_text};
 use pipe_experiments::store::ResultStore;
-use pipe_experiments::sweep::SweepRunner;
+use pipe_experiments::sweep::{FailedJob, SweepRunner};
 use pipe_experiments::tables::{render_table1, render_table2};
 
 struct Options {
@@ -40,6 +48,8 @@ struct Options {
     resume: bool,
     store: Option<PathBuf>,
     progress: bool,
+    strict: bool,
+    events: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -56,6 +66,8 @@ fn parse_args() -> Result<Options, String> {
         resume: false,
         store: None,
         progress: false,
+        strict: false,
+        events: None,
     };
     let mut any = false;
     let mut args = std::env::args().skip(1);
@@ -98,6 +110,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.store = Some(PathBuf::from(dir));
             }
             "--progress" => opts.progress = true,
+            "--strict" => opts.strict = true,
+            "--events" => {
+                let dir = args.next().ok_or("--events needs a directory")?;
+                opts.events = Some(PathBuf::from(dir));
+            }
             "--csv-dir" => {
                 let dir = args.next().ok_or("--csv-dir needs a directory")?;
                 opts.csv_dir = Some(PathBuf::from(dir));
@@ -134,8 +151,9 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn emit(fig: &Figure, opts: &Options, violations: &mut Vec<String>) {
+fn emit(fig: &Figure, failed: &[FailedJob], opts: &Options, violations: &mut Vec<String>) {
     println!("{}", render_text(fig));
+    print!("{}", render_failures(failed));
     if let Some(dir) = &opts.csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let path = dir.join(format!("{}.csv", fig.id));
@@ -172,7 +190,11 @@ fn main() -> ExitCode {
 
     let mut violations = Vec::new();
 
-    let mut runner = SweepRunner::new().jobs(opts.jobs).progress(opts.progress);
+    let mut runner = SweepRunner::new()
+        .jobs(opts.jobs)
+        .progress(opts.progress)
+        .strict(opts.strict);
+    let mut store_root = None;
     if opts.resume || opts.store.is_some() {
         let root = opts
             .store
@@ -185,6 +207,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        store_root = Some(root);
+    }
+    if let Some(events) = opts.events.clone().or(store_root) {
+        runner = runner.events(events);
     }
 
     for t in &opts.tables {
@@ -195,14 +221,25 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut total_failed = 0usize;
     for id in &opts.figures {
-        let fig = figure_with(id, &runner);
-        emit(&fig, &opts, &mut violations);
+        match try_figure_with(id, &runner) {
+            Ok(run) => {
+                total_failed += run.failed().len();
+                emit(&run.figure, run.failed(), &opts, &mut violations);
+            }
+            Err(e) => {
+                // Strict fail-fast: report what completed, then abort.
+                eprintln!("repro: {e}");
+                print!("{}", render_failures(&e.partial().failed));
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     for id in &opts.ablations {
         for fig in ablation(id) {
-            emit(&fig, &opts, &mut violations);
+            emit(&fig, &[], &opts, &mut violations);
         }
     }
 
@@ -262,6 +299,12 @@ fn main() -> ExitCode {
         println!("{}", render_ext_cache_study(&rows, 20));
     }
 
+    if total_failed > 0 {
+        eprintln!(
+            "repro: {total_failed} sweep point(s) failed (marked `-` above); \
+             re-run with --strict to make this fatal"
+        );
+    }
     if opts.check && !violations.is_empty() {
         eprintln!("{} expectation violation(s)", violations.len());
         return ExitCode::FAILURE;

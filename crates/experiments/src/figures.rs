@@ -7,7 +7,7 @@ use pipe_workloads::LivermoreSuite;
 
 use crate::matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
 use crate::runner::ExperimentPoint;
-use crate::sweep::{SweepRunner, SweepSpec, WorkloadSpec};
+use crate::sweep::{FailedJob, SweepError, SweepOutcome, SweepRunner, SweepSpec, WorkloadSpec};
 
 /// One curve of a figure: a strategy swept over cache sizes.
 #[derive(Debug, Clone)]
@@ -107,12 +107,60 @@ pub fn sweep(
     SweepRunner::new().run(&spec).series
 }
 
+/// A reproduced figure panel plus the run's execution record — how many
+/// points were simulated, loaded from the store, or failed.
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// The (possibly partial) figure: failed points are missing from
+    /// their series, never zeroed.
+    pub figure: Figure,
+    /// The sweep's execution record (counts, failed jobs, degradation,
+    /// event-log path).
+    pub outcome: SweepOutcome,
+}
+
+impl FigureRun {
+    /// Jobs that failed, in expansion order (empty for a complete run).
+    pub fn failed(&self) -> &[FailedJob] {
+        &self.outcome.failed
+    }
+}
+
+/// Reproduces one of the paper's figure panels using `runner` for
+/// execution (worker count, result store, events, progress), returning
+/// the partial figure and failed-job list rather than panicking when
+/// jobs fail.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Strict`] when the runner is strict and a job
+/// failed; the error carries the partial outcome.
+///
+/// # Panics
+///
+/// Panics on an unknown id; valid ids are listed in [`ALL_FIGURES`].
+pub fn try_figure_with(id: &str, runner: &SweepRunner) -> Result<FigureRun, SweepError> {
+    let (mem, title) = figure_mem(id);
+    let outcome = runner.try_run(&SweepSpec::figure(id))?;
+    Ok(FigureRun {
+        figure: Figure {
+            id: format!("fig{id}"),
+            title: format!("Figure {id}: {title}"),
+            mem,
+            series: outcome.series.clone(),
+        },
+        outcome,
+    })
+}
+
 /// Reproduces one of the paper's figure panels using `runner` for
 /// execution (worker count, result store, progress).
 ///
 /// # Panics
 ///
-/// Panics on an unknown id; valid ids are listed in [`ALL_FIGURES`].
+/// Panics on an unknown id (valid ids are listed in [`ALL_FIGURES`]), or
+/// when the runner is strict and a job failed — use [`try_figure_with`]
+/// to handle partial outcomes.
 pub fn figure_with(id: &str, runner: &SweepRunner) -> Figure {
     let (mem, title) = figure_mem(id);
     let outcome = runner.run(&SweepSpec::figure(id));

@@ -20,6 +20,7 @@
 //! The `repro` binary drives all of this from the command line and prints
 //! paper-shaped tables; [`report`] renders text and CSV.
 
+pub mod events;
 pub mod figures;
 pub mod matrix;
 pub mod profile;
@@ -31,11 +32,18 @@ pub mod svg;
 pub mod sweep;
 pub mod tables;
 
-pub use figures::{ablation, figure, figure_with, Figure, Series, ALL_ABLATIONS, ALL_FIGURES};
+pub use events::RunLog;
+pub use figures::{
+    ablation, figure, figure_with, try_figure_with, Figure, FigureRun, Series, ALL_ABLATIONS,
+    ALL_FIGURES,
+};
 pub use matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
 pub use profile::{per_loop_profile, render_profile, LoopProfile, LoopShare};
-pub use report::{check_expectations, render_csv, render_text};
-pub use runner::{run_point, ExperimentPoint};
-pub use store::{fnv1a64, ResultStore, StoredPoint};
+pub use report::{check_expectations, render_csv, render_failures, render_text};
+pub use runner::{run_point, try_run_point, ExperimentPoint};
+pub use store::{fnv1a64, ResultStore, StoreError, StoredPoint};
 pub use svg::render_figure_svg;
-pub use sweep::{PointOutcome, SweepJob, SweepOutcome, SweepRunner, SweepSpec, WorkloadSpec};
+pub use sweep::{
+    FailedJob, FaultInjection, JobError, PointOutcome, SweepError, SweepJob, SweepOutcome,
+    SweepRunner, SweepSpec, WorkloadSpec,
+};

@@ -2,6 +2,7 @@
 
 use crate::figures::Figure;
 use crate::matrix::{sweep_sizes, StrategyKind};
+use crate::sweep::FailedJob;
 
 /// Renders a figure as a text table: one row per cache size, one column
 /// per strategy, cells in kilocycles.
@@ -25,6 +26,21 @@ pub fn render_text(fig: &Figure) -> String {
             }
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Renders the failed jobs of a partial sweep, one line per point (empty
+/// string for a complete run). Rendered tables mark these points as
+/// missing (`-`), never zero; this summary names them and says why.
+pub fn render_failures(failed: &[FailedJob]) -> String {
+    let mut out = String::new();
+    if failed.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("  {} point(s) failed:\n", failed.len()));
+    for f in failed {
+        out.push_str(&format!("  [failed] {f}\n"));
     }
     out
 }

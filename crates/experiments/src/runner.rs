@@ -1,6 +1,6 @@
 //! Running a single experiment point.
 
-use pipe_core::{run_program, FetchStrategy, SimConfig, SimStats};
+use pipe_core::{run_program, FetchStrategy, SimConfig, SimError, SimStats};
 use pipe_isa::Program;
 use pipe_mem::MemConfig;
 
@@ -15,32 +15,51 @@ pub struct ExperimentPoint {
     pub stats: SimStats,
 }
 
-/// Runs `program` under (`fetch`, `mem`) and returns the measured point.
+/// Runs `program` under (`fetch`, `mem`) and returns the measured point,
+/// or the typed simulation error. The fault-tolerant sweep engine uses
+/// this form so one failing point becomes a recorded failure instead of
+/// aborting the whole sweep.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation errors — experiment configurations are
-/// validated up front, so an error indicates a simulator bug and should
-/// fail loudly rather than silently skew a sweep.
-pub fn run_point(
+/// Returns the [`SimError`] the simulator reported (configuration,
+/// decode, or timeout).
+pub fn try_run_point(
     program: &Program,
     fetch: FetchStrategy,
     mem: &MemConfig,
     cache_bytes: u32,
-) -> ExperimentPoint {
+) -> Result<ExperimentPoint, SimError> {
     let cfg = SimConfig {
         fetch,
         mem: mem.clone(),
         max_cycles: 2_000_000_000,
         ..SimConfig::default()
     };
-    let stats = run_program(program, &cfg)
-        .unwrap_or_else(|e| panic!("experiment point failed ({fetch}, {cache_bytes}B): {e}"));
-    ExperimentPoint {
+    let stats = run_program(program, &cfg)?;
+    Ok(ExperimentPoint {
         cache_bytes,
         cycles: stats.cycles,
         stats,
-    }
+    })
+}
+
+/// Runs `program` under (`fetch`, `mem`) and returns the measured point.
+///
+/// # Panics
+///
+/// Panics if the simulation errors — experiment configurations are
+/// validated up front, so an error indicates a simulator bug and should
+/// fail loudly rather than silently skew a result. Fault-tolerant callers
+/// use [`try_run_point`].
+pub fn run_point(
+    program: &Program,
+    fetch: FetchStrategy,
+    mem: &MemConfig,
+    cache_bytes: u32,
+) -> ExperimentPoint {
+    try_run_point(program, fetch, mem, cache_bytes)
+        .unwrap_or_else(|e| panic!("experiment point failed ({fetch}, {cache_bytes}B): {e}"))
 }
 
 #[cfg(test)]

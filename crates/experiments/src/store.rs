@@ -17,12 +17,15 @@
 //! fields filled in and the remaining statistics zeroed; re-run without
 //! `--resume` when full statistics matter.
 //!
-//! The JSON is hand-rolled (flat object, integer/string values, no
-//! escapes needed) because the workspace deliberately has no external
-//! dependencies.
+//! The JSON is hand-rolled (flat object, integer/string values, the
+//! standard string escapes) because the workspace deliberately has no
+//! external dependencies.
 
+use std::error::Error;
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pipe_core::SimStats;
 
@@ -31,6 +34,38 @@ use crate::runner::ExperimentPoint;
 /// Store layout version; bump when the entry format or key scheme
 /// changes.
 pub const STORE_VERSION: u32 = 1;
+
+/// A typed result-store failure. Only conditions that indicate the store
+/// holds *wrong* data (rather than merely missing or unreadable data) are
+/// surfaced this way; corrupt, truncated, or version-mismatched entries
+/// simply read as absent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The entry file for this key's hash records a *different* key — an
+    /// FNV collision or a stale entry written under an old key format.
+    /// Callers should treat the point as absent (recompute it) and warn,
+    /// never trust the entry.
+    KeyMismatch {
+        /// The key the caller asked for.
+        requested: String,
+        /// The key recorded inside the entry file.
+        found: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::KeyMismatch { requested, found } => write!(
+                f,
+                "result store key mismatch (hash collision or stale entry): \
+                 requested {requested:?}, entry records {found:?}"
+            ),
+        }
+    }
+}
+
+impl Error for StoreError {}
 
 /// FNV-1a 64-bit hash of `key` — stable across runs and platforms.
 pub fn fnv1a64(key: &str) -> u64 {
@@ -112,8 +147,8 @@ impl StoredPoint {
                 "\"cache_hits\":{},\"cache_misses\":{},\"wall_ms\":{}}}\n"
             ),
             STORE_VERSION,
-            self.key,
-            self.strategy,
+            json_escape(&self.key),
+            json_escape(&self.strategy),
             self.cache_bytes,
             self.cycles,
             self.instructions,
@@ -144,6 +179,25 @@ impl StoredPoint {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal: `"` and `\`
+/// get backslash escapes, control characters the standard short or
+/// `\u00XX` forms.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Extracts an unsigned integer field from a flat JSON object.
 fn json_u64(text: &str, field: &str) -> Option<u64> {
     let rest = field_value(text, field)?;
@@ -153,11 +207,37 @@ fn json_u64(text: &str, field: &str) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
-/// Extracts a string field (no escapes) from a flat JSON object.
+/// Extracts and unescapes a string field from a flat JSON object.
+/// Malformed input — an unterminated literal, an unknown escape, a bad
+/// `\u` sequence, or a raw control character — returns `None` rather than
+/// a silently mis-parsed value.
 fn json_str(text: &str, field: &str) -> Option<String> {
-    let rest = field_value(text, field)?;
-    let rest = rest.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
+    let rest = field_value(text, field)?.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c if (c as u32) < 0x20 => return None,
+            c => out.push(c),
+        }
+    }
 }
 
 fn field_value<'a>(text: &'a str, field: &str) -> Option<&'a str> {
@@ -201,33 +281,55 @@ impl ResultStore {
         self.path_for(key).is_file()
     }
 
-    /// Loads the point stored under `key`, if any. A corrupt, truncated,
-    /// or version-mismatched entry reads as absent (the point is simply
-    /// recomputed), except that a hash-collision entry whose recorded key
-    /// differs is a hard error.
-    pub fn load(&self, key: &str) -> Option<StoredPoint> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        let entry = StoredPoint::from_json(&text)?;
-        assert_eq!(
-            entry.key, key,
-            "result store hash collision: {:?} vs {:?}",
-            entry.key, key
-        );
-        Some(entry)
+    /// Loads the point stored under `key`, if any. A missing, corrupt,
+    /// truncated, or version-mismatched entry reads as `Ok(None)` (the
+    /// point is simply recomputed). An entry whose *recorded key* differs
+    /// from the requested one — a hash collision or a stale entry from an
+    /// old key format — is [`StoreError::KeyMismatch`]: the caller should
+    /// warn and recompute, never use the entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::KeyMismatch`] as above.
+    pub fn load(&self, key: &str) -> Result<Option<StoredPoint>, StoreError> {
+        let Ok(text) = std::fs::read_to_string(self.path_for(key)) else {
+            return Ok(None);
+        };
+        let Some(entry) = StoredPoint::from_json(&text) else {
+            return Ok(None);
+        };
+        if entry.key != key {
+            return Err(StoreError::KeyMismatch {
+                requested: key.to_string(),
+                found: entry.key,
+            });
+        }
+        Ok(Some(entry))
     }
 
     /// Persists `entry` under its key, atomically (write to a temp file in
     /// the same directory, then rename), so a killed sweep never leaves a
-    /// truncated entry behind.
+    /// truncated entry behind. The temp name is unique per process and
+    /// call, so concurrent writers — worker threads or separate processes
+    /// sharing a store — never interleave on the same temp file; last
+    /// rename wins with both entries valid.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error.
     pub fn save(&self, entry: &StoredPoint) -> io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let path = self.path_for(&entry.key);
-        let tmp = path.with_extension("json.tmp");
+        let tmp = self.dir.join(format!(
+            "{:016x}.tmp.{}.{}",
+            fnv1a64(&entry.key),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
         std::fs::write(&tmp, entry.to_json())?;
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Number of entries currently stored.
@@ -299,10 +401,109 @@ mod tests {
         assert!(!store.contains(&entry.key));
         store.save(&entry).unwrap();
         assert!(store.contains(&entry.key));
-        assert_eq!(store.load(&entry.key).unwrap(), entry);
+        assert_eq!(store.load(&entry.key).unwrap().unwrap(), entry);
         assert_eq!(store.len(), 1);
         // Overwrites are idempotent.
         store.save(&entry).unwrap();
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn strings_with_quotes_and_backslashes_round_trip() {
+        let mut entry = sample("v1|wl=\"weird\\path\"|fetch=x");
+        entry.strategy = "16-16 \"q\" \\ tab\there\nnl".to_string();
+        let parsed = StoredPoint::from_json(&entry.to_json()).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn malformed_strings_are_rejected_not_misparsed() {
+        // Unterminated literal.
+        assert!(json_str("{\"key\":\"abc", "key").is_none());
+        // Unknown escape.
+        assert!(json_str("{\"key\":\"a\\qb\"}", "key").is_none());
+        // Truncated \u sequence.
+        assert!(json_str("{\"key\":\"a\\u00\"}", "key").is_none());
+        // Raw control character.
+        assert!(json_str("{\"key\":\"a\nb\"}", "key").is_none());
+        // Valid escapes parse.
+        assert_eq!(
+            json_str("{\"key\":\"a\\\"b\\\\c\\u0041\"}", "key").unwrap(),
+            "a\"b\\cA"
+        );
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_read_as_absent() {
+        let dir = std::env::temp_dir().join(format!("pipe-store-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let entry = sample("v1|corrupt-test");
+        store.save(&entry).unwrap();
+        let path = store
+            .dir()
+            .join(format!("{:016x}.json", fnv1a64(&entry.key)));
+
+        // Truncated mid-file.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(store.load(&entry.key), Ok(None));
+
+        // Arbitrary garbage.
+        std::fs::write(&path, "not json at all").unwrap();
+        assert_eq!(store.load(&entry.key), Ok(None));
+
+        // Version mismatch.
+        std::fs::write(&path, full.replace("\"version\":1", "\"version\":999")).unwrap();
+        assert_eq!(store.load(&entry.key), Ok(None));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_mismatch_is_typed_error_not_panic() {
+        let dir = std::env::temp_dir().join(format!("pipe-store-collide-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let entry = sample("v1|the-real-key");
+        store.save(&entry).unwrap();
+        // Simulate a hash collision: copy the entry file to the hash slot
+        // of a different key.
+        let other = "v1|a-colliding-key";
+        std::fs::copy(
+            store
+                .dir()
+                .join(format!("{:016x}.json", fnv1a64(&entry.key))),
+            store.dir().join(format!("{:016x}.json", fnv1a64(other))),
+        )
+        .unwrap();
+        match store.load(other) {
+            Err(StoreError::KeyMismatch { requested, found }) => {
+                assert_eq!(requested, other);
+                assert_eq!(found, entry.key);
+            }
+            other => panic!("expected KeyMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_saves_of_same_key_both_succeed() {
+        let dir = std::env::temp_dir().join(format!("pipe-store-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let entry = sample("v1|contended-key");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        store.save(&entry).expect("concurrent save");
+                    }
+                });
+            }
+        });
+        // Every writer succeeded and the surviving entry is valid.
+        assert_eq!(store.load(&entry.key).unwrap().unwrap(), entry);
         assert_eq!(store.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -16,6 +16,16 @@
 //! re-simulated, so a re-run after an interrupted or completed sweep only
 //! pays for the missing points.
 //!
+//! Execution is **fault-tolerant**: each job runs under `catch_unwind`,
+//! so a panicking or erroring point becomes a [`FailedJob`] recorded in
+//! the [`SweepOutcome`] while every other job completes; store-write
+//! failures are retried with backoff and then degrade the run to
+//! store-less execution instead of aborting it. [`SweepRunner::strict`]
+//! restores fail-fast semantics ([`SweepRunner::try_run`] returns
+//! [`SweepError`] carrying the partial outcome). With an events root
+//! attached ([`SweepRunner::events`]), the run appends a structured JSONL
+//! event log (see [`crate::events`]).
+//!
 //! ```no_run
 //! use pipe_experiments::sweep::{SweepRunner, SweepSpec};
 //!
@@ -24,8 +34,12 @@
 //! assert_eq!(outcome.series.len(), 5);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::error::Error;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use pipe_core::FetchStrategy;
@@ -34,9 +48,10 @@ use pipe_isa::{InstrFormat, Program};
 use pipe_mem::MemConfig;
 use pipe_workloads::LivermoreSuite;
 
+use crate::events::RunLog;
 use crate::figures::{figure_mem, Series};
 use crate::matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
-use crate::runner::{run_point, ExperimentPoint};
+use crate::runner::{try_run_point, ExperimentPoint};
 use crate::store::{ResultStore, StoredPoint};
 
 /// The benchmark a sweep runs. Declarative (rather than a prebuilt
@@ -233,28 +248,161 @@ pub struct PointOutcome {
     pub cached: bool,
 }
 
-/// The result of running a sweep.
+/// Why one job of a sweep failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The worker panicked while simulating this point (message is the
+    /// panic payload).
+    Panic(String),
+    /// The simulator reported a typed error (decode, timeout, ...).
+    Sim(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panic(m) => write!(f, "worker panicked: {m}"),
+            JobError::Sim(m) => write!(f, "simulation error: {m}"),
+        }
+    }
+}
+
+impl Error for JobError {}
+
+/// One job that did not produce a point, with enough identity to re-run
+/// or report it.
+#[derive(Debug, Clone)]
+pub struct FailedJob {
+    /// Position in the expansion.
+    pub index: usize,
+    /// The strategy the point belonged to.
+    pub kind: StrategyKind,
+    /// Cache size in bytes.
+    pub cache_bytes: u32,
+    /// The canonical configuration key of the point.
+    pub key: String,
+    /// What went wrong.
+    pub error: JobError,
+}
+
+impl fmt::Display for FailedJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {}B (job {}): {}",
+            self.kind.label(),
+            self.cache_bytes,
+            self.index,
+            self.error
+        )
+    }
+}
+
+/// A sweep-level failure. Only strict (fail-fast) execution surfaces one;
+/// the default mode records failures in the outcome instead.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Strict mode: at least one job failed. The boxed partial outcome
+    /// preserves every completed series point plus the failed-job list.
+    Strict(Box<SweepOutcome>),
+}
+
+impl SweepError {
+    /// The partial outcome of the aborted sweep.
+    pub fn partial(&self) -> &SweepOutcome {
+        match self {
+            SweepError::Strict(outcome) => outcome,
+        }
+    }
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Strict(outcome) => {
+                write!(
+                    f,
+                    "strict sweep aborted: {} job(s) failed",
+                    outcome.failed.len()
+                )?;
+                if let Some(first) = outcome.failed.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for SweepError {}
+
+/// The result of running a sweep — possibly partial: jobs listed in
+/// `failed` have no point in `series` (renderers mark them as missing
+/// rather than zero).
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// One series per strategy, in spec order — the same shape the serial
-    /// figure path produces.
+    /// figure path produces, minus any failed points.
     pub series: Vec<Series>,
-    /// Points actually simulated this run.
+    /// Points actually simulated (successfully) this run.
     pub computed: usize,
     /// Points satisfied from the result store.
     pub cached: usize,
+    /// Jobs that failed, in expansion order.
+    pub failed: Vec<FailedJob>,
+    /// Whether store writes failed persistently and the run degraded to
+    /// store-less execution.
+    pub store_degraded: bool,
+    /// Where the JSONL event log was written, when events were enabled.
+    pub events_path: Option<PathBuf>,
     /// Total wall-clock time of the sweep.
     pub wall: Duration,
 }
 
+impl SweepOutcome {
+    /// Whether every expanded job produced a point.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Test/diagnostic fault injection: make specific jobs panic or their
+/// store writes fail, to exercise the fault-tolerant paths end to end
+/// (unit tests, the CI smoke test, and manual `--inject-*` runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Expansion indices whose execution panics.
+    pub panic_jobs: Vec<usize>,
+    /// Expansion indices whose store writes fail (every attempt).
+    pub store_fail_jobs: Vec<usize>,
+}
+
+impl FaultInjection {
+    /// Whether no fault is injected (the default).
+    pub fn is_empty(&self) -> bool {
+        self.panic_jobs.is_empty() && self.store_fail_jobs.is_empty()
+    }
+}
+
+/// Shared per-run state handed to every worker: the (optional) event log
+/// and the store-health flag that flips when writes are exhausted.
+struct RunState<'a> {
+    log: Option<&'a RunLog>,
+    store_ok: &'a AtomicBool,
+}
+
 /// Executes [`SweepSpec`]s across worker threads with optional
-/// store-backed resume and progress reporting.
+/// store-backed resume, structured event logging, and progress
+/// reporting. Fault-tolerant by default; see [`SweepRunner::strict`].
 #[derive(Debug, Default)]
 pub struct SweepRunner {
     jobs: usize,
     store: Option<ResultStore>,
     resume: bool,
     progress: bool,
+    strict: bool,
+    events_root: Option<PathBuf>,
+    inject: FaultInjection,
 }
 
 impl SweepRunner {
@@ -265,6 +413,9 @@ impl SweepRunner {
             store: None,
             resume: false,
             progress: false,
+            strict: false,
+            events_root: None,
+            inject: FaultInjection::default(),
         }
     }
 
@@ -293,33 +444,85 @@ impl SweepRunner {
         self
     }
 
-    /// Runs the sweep.
+    /// Restores fail-fast semantics: the first failed job cancels the
+    /// remaining work and [`try_run`](SweepRunner::try_run) returns
+    /// [`SweepError::Strict`] with the partial outcome. In-flight jobs
+    /// still finish (and persist to the store), so a strict abort loses
+    /// no completed work.
+    pub fn strict(mut self, strict: bool) -> SweepRunner {
+        self.strict = strict;
+        self
+    }
+
+    /// Writes a structured JSONL event log to
+    /// `<root>/events/<spec id>.jsonl` for each run (see
+    /// [`crate::events`]).
+    pub fn events(mut self, root: impl Into<PathBuf>) -> SweepRunner {
+        self.events_root = Some(root.into());
+        self
+    }
+
+    /// Installs fault injection (test/diagnostic hook; see
+    /// [`FaultInjection`]).
+    pub fn inject(mut self, inject: FaultInjection) -> SweepRunner {
+        self.inject = inject;
+        self
+    }
+
+    /// Runs the sweep fault-tolerantly: failed jobs are recorded in the
+    /// outcome's `failed` list and every other job completes.
     ///
     /// # Panics
     ///
-    /// Panics if a simulation errors (sweep configurations are validated
-    /// at expansion) or a store write fails.
+    /// Panics only when the runner is [`strict`](SweepRunner::strict) and
+    /// a job failed — strict callers should use
+    /// [`try_run`](SweepRunner::try_run) instead.
     pub fn run(&self, spec: &SweepSpec) -> SweepOutcome {
+        match self.try_run(spec) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e} (use try_run to handle strict sweep failures)"),
+        }
+    }
+
+    /// Runs the sweep.
+    ///
+    /// In the default fault-tolerant mode this always returns `Ok`: a
+    /// panicking or erroring job becomes a [`FailedJob`] in the outcome,
+    /// a persistently failing store write degrades the run to store-less
+    /// execution (after bounded retry with backoff), and an untrusted
+    /// store entry (key mismatch) is recomputed with a warning. Under
+    /// [`strict`](SweepRunner::strict), the first failure cancels the
+    /// remaining jobs and surfaces as [`SweepError::Strict`] carrying the
+    /// partial outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Strict`] as described above.
+    pub fn try_run(&self, spec: &SweepSpec) -> Result<SweepOutcome, SweepError> {
         let started = Instant::now();
         let jobs = spec.expand();
         let total = jobs.len();
         let program = spec.workload.build();
 
+        let log = self.open_log(spec);
+        if let Some(log) = &log {
+            log.run_start(total, self.jobs, self.strict);
+        }
+
         // Index-addressed result slots: the write order never affects the
         // collected series.
         let mut slots: Vec<Option<PointOutcome>> = (0..total).map(|_| None).collect();
+        let mut failed: Vec<FailedJob> = Vec::new();
 
         // Satisfy what we can from the store first (cheap file reads).
         let mut pending: Vec<&SweepJob> = Vec::new();
         for job in &jobs {
-            let cached = if self.resume {
-                self.store.as_ref().and_then(|s| s.load(job.key()))
-            } else {
-                None
-            };
-            match cached {
+            match self.load_cached(spec, job, log.as_ref()) {
                 Some(entry) => {
                     self.report(spec, job, entry.cycles, Duration::ZERO, true, total);
+                    if let Some(log) = &log {
+                        log.job_cached(job.index, job.kind.label(), job.cache_bytes, entry.cycles);
+                    }
                     slots[job.index] = Some(PointOutcome {
                         point: entry.to_point(),
                         wall: Duration::ZERO,
@@ -331,30 +534,79 @@ impl SweepRunner {
         }
         let cached = total - pending.len();
 
+        // Set once store writes are exhausted; the rest of the run is
+        // store-less.
+        let store_ok = AtomicBool::new(true);
+        // Set on the first failure under strict: workers stop picking up
+        // new jobs but finish (and persist) the ones in flight.
+        let cancel = AtomicBool::new(false);
+        let run = RunState {
+            log: log.as_ref(),
+            store_ok: &store_ok,
+        };
+
         let workers = self.jobs.min(pending.len().max(1));
         if workers <= 1 {
             for job in &pending {
-                let outcome = self.execute(spec, job, &program, total);
-                slots[job.index] = Some(outcome);
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                match self.execute(spec, job, &program, total, 0, &run) {
+                    Ok(outcome) => slots[job.index] = Some(outcome),
+                    Err(error) => {
+                        failed.push(failed_job(job, error));
+                        if self.strict {
+                            cancel.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
             }
         } else {
+            // Per-job results flow back over an mpsc channel, so a worker
+            // that dies mid-job can never poison shared state: its result
+            // is simply the error it sent (or nothing, which leaves the
+            // slot empty).
             let next = AtomicUsize::new(0);
-            let shared_slots = Mutex::new(&mut slots);
+            let (tx, rx) = mpsc::channel::<(usize, Result<PointOutcome, JobError>)>();
+            let pending = &pending;
+            let program = &program;
+            let (cancel_ref, run_ref) = (&cancel, &run);
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
+                for worker in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        if cancel_ref.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = pending.get(i) else { break };
-                        let outcome = self.execute(spec, job, &program, total);
-                        shared_slots.lock().expect("no poisoned workers")[job.index] =
-                            Some(outcome);
+                        let result = self.execute(spec, job, program, total, worker, run_ref);
+                        if tx.send((job.index, result)).is_err() {
+                            break;
+                        }
                     });
+                }
+                drop(tx);
+                for (index, result) in rx {
+                    match result {
+                        Ok(outcome) => slots[index] = Some(outcome),
+                        Err(error) => {
+                            failed.push(failed_job(&jobs[index], error));
+                            if self.strict {
+                                cancel.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
                 }
             });
         }
+        failed.sort_by_key(|f| f.index);
 
         // Collect into series in expansion order: strategy-major, size
-        // ascending — identical to the serial path.
+        // ascending — identical to the serial path. Failed (or, under a
+        // strict abort, never-started) jobs simply have no point;
+        // renderers mark them as missing.
         let series = spec
             .strategies
             .iter()
@@ -364,50 +616,195 @@ impl SweepRunner {
                 points: jobs
                     .iter()
                     .filter(|j| j.kind == kind)
-                    .map(|j| {
-                        slots[j.index]
-                            .as_ref()
-                            .expect("every job produced a point")
-                            .point
-                            .clone()
-                    })
+                    .filter_map(|j| slots[j.index].as_ref().map(|o| o.point.clone()))
                     .collect(),
             })
             .collect();
 
-        SweepOutcome {
+        let computed = slots.iter().flatten().filter(|o| !o.cached).count();
+        let outcome = SweepOutcome {
             series,
-            computed: total - cached,
+            computed,
             cached,
+            store_degraded: !store_ok.load(Ordering::Relaxed),
+            events_path: log.as_ref().map(|l| l.path().to_path_buf()),
+            failed,
             wall: started.elapsed(),
+        };
+        if let Some(log) = &log {
+            log.run_finish(
+                outcome.computed,
+                outcome.cached,
+                outcome.failed.len(),
+                outcome.wall.as_millis(),
+            );
+        }
+        if self.strict && !outcome.is_complete() {
+            return Err(SweepError::Strict(Box::new(outcome)));
+        }
+        Ok(outcome)
+    }
+
+    /// Opens the per-run event log, if an events root is configured.
+    /// Best-effort: a failure to open warns and disables logging.
+    fn open_log(&self, spec: &SweepSpec) -> Option<RunLog> {
+        let root = self.events_root.as_ref()?;
+        match RunLog::create(root, &spec.id) {
+            Ok(log) => Some(log),
+            Err(e) => {
+                eprintln!(
+                    "[{}] warning: cannot create event log under {}: {e}; \
+                     continuing without events",
+                    spec.id,
+                    root.display()
+                );
+                None
+            }
         }
     }
 
-    /// Simulates one point, persists it, and reports progress.
+    /// Resume lookup for one job. An untrusted entry (key mismatch) warns
+    /// and reads as absent so the point is recomputed.
+    fn load_cached(
+        &self,
+        spec: &SweepSpec,
+        job: &SweepJob,
+        log: Option<&RunLog>,
+    ) -> Option<StoredPoint> {
+        if !self.resume {
+            return None;
+        }
+        match self.store.as_ref()?.load(job.key()) {
+            Ok(entry) => entry,
+            Err(e) => {
+                eprintln!(
+                    "[{}] warning: {e}; recomputing {} @ {}B",
+                    spec.id,
+                    job.kind.label(),
+                    job.cache_bytes
+                );
+                if let Some(log) = log {
+                    log.store_mismatch(job.index, &e.to_string());
+                }
+                None
+            }
+        }
+    }
+
+    /// Simulates one point under `catch_unwind`, persists it (with retry
+    /// and degradation on store failure), and reports progress. A panic
+    /// or simulation error becomes `Err(JobError)` — the job fails alone.
     fn execute(
         &self,
         spec: &SweepSpec,
         job: &SweepJob,
         program: &Program,
         total: usize,
-    ) -> PointOutcome {
-        let t0 = Instant::now();
-        let point = run_point(program, job.fetch, &spec.mem, job.cache_bytes);
-        let wall = t0.elapsed();
-        if let Some(store) = &self.store {
-            let entry = StoredPoint::from_point(
-                job.key(),
-                job.kind.label(),
-                &point,
-                wall.as_millis() as u64,
-            );
-            store.save(&entry).expect("result store write");
+        worker: usize,
+        run: &RunState<'_>,
+    ) -> Result<PointOutcome, JobError> {
+        let log = run.log;
+        if let Some(log) = log {
+            log.job_start(job.index, job.kind.label(), job.cache_bytes, worker);
         }
-        self.report(spec, job, point.cycles, wall, false, total);
-        PointOutcome {
-            point,
-            wall,
-            cached: false,
+        let inject_panic = self.inject.panic_jobs.contains(&job.index);
+        let t0 = Instant::now();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected panic (job {})", job.index);
+            }
+            try_run_point(program, job.fetch, &spec.mem, job.cache_bytes)
+        }));
+        let wall = t0.elapsed();
+        let error = match result {
+            Ok(Ok(point)) => {
+                self.persist(spec, job, &point, wall, run);
+                self.report(spec, job, point.cycles, wall, false, total);
+                if let Some(log) = log {
+                    log.job_finish(
+                        job.index,
+                        job.kind.label(),
+                        job.cache_bytes,
+                        worker,
+                        point.cycles,
+                        wall.as_millis(),
+                    );
+                }
+                return Ok(PointOutcome {
+                    point,
+                    wall,
+                    cached: false,
+                });
+            }
+            Ok(Err(sim)) => JobError::Sim(sim.to_string()),
+            Err(payload) => JobError::Panic(panic_message(payload.as_ref())),
+        };
+        eprintln!(
+            "[{} {}/{}] FAILED {} @ {}B: {error}",
+            spec.id,
+            job.index + 1,
+            total,
+            job.kind.label(),
+            job.cache_bytes,
+        );
+        if let Some(log) = log {
+            log.job_failed(
+                job.index,
+                job.kind.label(),
+                job.cache_bytes,
+                worker,
+                &error.to_string(),
+            );
+        }
+        Err(error)
+    }
+
+    /// Persists one measured point with bounded retry. Transient
+    /// `io::Error`s back off and retry; after the attempts are exhausted
+    /// the run degrades to store-less execution (a warning, never an
+    /// abort).
+    fn persist(
+        &self,
+        spec: &SweepSpec,
+        job: &SweepJob,
+        point: &ExperimentPoint,
+        wall: Duration,
+        run: &RunState<'_>,
+    ) {
+        const ATTEMPTS: u32 = 3;
+        let (log, store_ok) = (run.log, run.store_ok);
+        let Some(store) = &self.store else { return };
+        if !store_ok.load(Ordering::Relaxed) {
+            return;
+        }
+        let entry =
+            StoredPoint::from_point(job.key(), job.kind.label(), point, wall.as_millis() as u64);
+        let inject_fail = self.inject.store_fail_jobs.contains(&job.index);
+        let mut backoff = Duration::from_millis(10);
+        for attempt in 1..=ATTEMPTS {
+            let result = if inject_fail {
+                Err(std::io::Error::other("injected store-write failure"))
+            } else {
+                store.save(&entry)
+            };
+            let Err(e) = result else { return };
+            if attempt < ATTEMPTS {
+                if let Some(log) = log {
+                    log.store_retry(job.index, attempt, &e.to_string());
+                }
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            } else {
+                eprintln!(
+                    "[{}] warning: store write failed {ATTEMPTS} times ({e}); \
+                     continuing without the result store",
+                    spec.id
+                );
+                if let Some(log) = log {
+                    log.store_degraded(job.index, &e.to_string());
+                }
+                store_ok.store(false, Ordering::Relaxed);
+            }
         }
     }
 
@@ -438,6 +835,28 @@ impl SweepRunner {
             cycles,
             source,
         );
+    }
+}
+
+fn failed_job(job: &SweepJob, error: JobError) -> FailedJob {
+    FailedJob {
+        index: job.index,
+        kind: job.kind,
+        cache_bytes: job.cache_bytes,
+        key: job.key().to_string(),
+        error,
+    }
+}
+
+/// Renders a `catch_unwind` payload as text (panic payloads are almost
+/// always `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -536,6 +955,162 @@ mod tests {
             .run(&spec);
         assert_eq!(third.cached, 0);
         assert_eq!(third.computed, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_panic_fails_alone_others_complete() {
+        let spec = small_spec("faulty");
+        let serial = SweepRunner::new().run(&spec);
+
+        let outcome = SweepRunner::new()
+            .jobs(4)
+            .inject(FaultInjection {
+                panic_jobs: vec![1],
+                ..FaultInjection::default()
+            })
+            .run(&spec);
+        assert_eq!(outcome.failed.len(), 1);
+        assert_eq!(outcome.failed[0].index, 1);
+        assert!(matches!(outcome.failed[0].error, JobError::Panic(_)));
+        assert_eq!(outcome.computed, 3);
+        assert!(!outcome.is_complete());
+
+        // Every successful point is bit-identical to the serial run; the
+        // failed point is missing, not zeroed.
+        let surviving: Vec<(u32, u64)> = outcome
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| (p.cache_bytes, p.cycles)))
+            .collect();
+        let all: Vec<(u32, u64)> = serial
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| (p.cache_bytes, p.cycles)))
+            .collect();
+        assert_eq!(surviving.len(), 3);
+        assert!(surviving.iter().all(|p| all.contains(p)));
+    }
+
+    #[test]
+    fn strict_mode_surfaces_typed_error_with_partial_outcome() {
+        let spec = small_spec("strict");
+        let err = SweepRunner::new()
+            .strict(true)
+            .inject(FaultInjection {
+                panic_jobs: vec![0],
+                ..FaultInjection::default()
+            })
+            .try_run(&spec)
+            .unwrap_err();
+        let SweepError::Strict(partial) = &err;
+        assert_eq!(partial.failed.len(), 1);
+        assert!(err.to_string().contains("strict sweep aborted"));
+        // Fail-fast: job 0 failed first, so nothing later was started.
+        assert_eq!(partial.computed, 0);
+
+        // Non-strict try_run never errors.
+        assert!(SweepRunner::new()
+            .inject(FaultInjection {
+                panic_jobs: vec![0],
+                ..FaultInjection::default()
+            })
+            .try_run(&spec)
+            .is_ok());
+    }
+
+    #[test]
+    fn store_write_failure_degrades_but_completes() {
+        let dir = std::env::temp_dir().join(format!("pipe-sweep-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec("degrade");
+        let outcome = SweepRunner::new()
+            .store(ResultStore::open(&dir).unwrap())
+            .inject(FaultInjection {
+                store_fail_jobs: vec![0],
+                ..FaultInjection::default()
+            })
+            .run(&spec);
+        // The store failure never fails the job: all four points exist.
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.computed, 4);
+        assert!(outcome.store_degraded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_store_entry_recomputes_mid_sweep() {
+        let dir = std::env::temp_dir().join(format!("pipe-sweep-badstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec("badstore");
+        let first = SweepRunner::new()
+            .store(ResultStore::open(&dir).unwrap())
+            .resume(true)
+            .run(&spec);
+        // Corrupt one entry and rewrite another under a mismatched key:
+        // both must read as absent (recompute), not panic.
+        let store = ResultStore::open(&dir).unwrap();
+        let jobs = spec.expand();
+        let paths: Vec<_> = jobs
+            .iter()
+            .map(|j| {
+                store
+                    .dir()
+                    .join(format!("{:016x}.json", crate::store::fnv1a64(j.key())))
+            })
+            .collect();
+        std::fs::write(&paths[0], "{truncated garbage").unwrap();
+        std::fs::copy(&paths[1], &paths[2]).unwrap();
+
+        let second = SweepRunner::new()
+            .store(ResultStore::open(&dir).unwrap())
+            .resume(true)
+            .run(&spec);
+        assert_eq!(second.cached, 2, "only the intact entries load");
+        assert_eq!(second.computed, 2, "corrupt + mismatched entries recompute");
+        for (a, b) in first.series.iter().zip(&second.series) {
+            let ac: Vec<u64> = a.points.iter().map(|p| p.cycles).collect();
+            let bc: Vec<u64> = b.points.iter().map(|p| p.cycles).collect();
+            assert_eq!(ac, bc, "recomputed points identical");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn event_log_records_failures_and_summary() {
+        let dir = std::env::temp_dir().join(format!("pipe-sweep-events-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec("logged");
+        let outcome = SweepRunner::new()
+            .jobs(2)
+            .events(&dir)
+            .inject(FaultInjection {
+                panic_jobs: vec![2],
+                ..FaultInjection::default()
+            })
+            .run(&spec);
+        let path = outcome.events_path.clone().unwrap();
+        assert_eq!(path, dir.join("events").join("logged.jsonl"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"event\":\"run_start\""));
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"event\":\"job_failed\""))
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"event\":\"job_finish\""))
+                .count(),
+            3
+        );
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("\"event\":\"run_finish\"") && last.contains("\"failed\":1"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,110 @@
+//! End-to-end fault tolerance: the ISSUE's acceptance scenario. A sweep
+//! with one injected worker panic and one injected store-write failure
+//! completes every other job, reports the failed point in both the
+//! outcome and the JSONL event log, and keeps every successful cycle
+//! count bit-identical to a serial, fault-free run.
+
+use pipe_experiments::{
+    FaultInjection, JobError, ResultStore, StrategyKind, SweepError, SweepRunner, SweepSpec,
+    WorkloadSpec,
+};
+use pipe_icache::PrefetchPolicy;
+use pipe_isa::InstrFormat;
+use pipe_mem::MemConfig;
+
+fn spec(id: &str) -> SweepSpec {
+    SweepSpec {
+        id: id.to_string(),
+        strategies: vec![StrategyKind::Conventional, StrategyKind::Pipe16x16],
+        cache_sizes: vec![32, 64, 128],
+        mem: MemConfig {
+            access_cycles: 3,
+            ..MemConfig::default()
+        },
+        policy: PrefetchPolicy::TruePrefetch,
+        workload: WorkloadSpec::TightLoop {
+            body: 6,
+            trips: 30,
+            format: InstrFormat::Fixed32,
+        },
+    }
+}
+
+#[test]
+fn panic_plus_store_failure_yields_partial_outcome_with_identical_survivors() {
+    let dir = std::env::temp_dir().join(format!("pipe-ft-accept-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let serial: Vec<(String, u32, u64)> = SweepRunner::new()
+        .run(&spec("accept"))
+        .series
+        .iter()
+        .flat_map(|s| {
+            s.points
+                .iter()
+                .map(|p| (s.label.clone(), p.cache_bytes, p.cycles))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert_eq!(serial.len(), 6);
+
+    let outcome = SweepRunner::new()
+        .jobs(4)
+        .store(ResultStore::open(&dir).unwrap())
+        .events(&dir)
+        .inject(FaultInjection {
+            panic_jobs: vec![2],
+            store_fail_jobs: vec![4],
+        })
+        .run(&spec("accept"));
+
+    // Exactly the panicked job failed; the store-failing job succeeded.
+    assert_eq!(outcome.failed.len(), 1);
+    assert_eq!(outcome.failed[0].index, 2);
+    assert!(matches!(outcome.failed[0].error, JobError::Panic(_)));
+    assert_eq!(outcome.computed, 5);
+    assert!(outcome.store_degraded);
+
+    // Every surviving point is bit-identical to the serial run.
+    for s in &outcome.series {
+        for p in &s.points {
+            assert!(
+                serial.contains(&(s.label.clone(), p.cache_bytes, p.cycles)),
+                "{} @ {}B diverged from serial",
+                s.label,
+                p.cache_bytes
+            );
+        }
+    }
+
+    // The event log records the failure, the degradation, and a partial
+    // run summary.
+    let events = std::fs::read_to_string(outcome.events_path.as_ref().unwrap()).unwrap();
+    assert_eq!(
+        events
+            .lines()
+            .filter(|l| l.contains("\"event\":\"job_failed\""))
+            .count(),
+        1
+    );
+    assert!(events.contains("\"event\":\"store_degraded\""));
+    let last = events.lines().last().unwrap();
+    assert!(last.contains("\"event\":\"run_finish\"") && last.contains("\"failed\":1"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn strict_mode_aborts_with_typed_error() {
+    let err = SweepRunner::new()
+        .strict(true)
+        .inject(FaultInjection {
+            panic_jobs: vec![0],
+            ..FaultInjection::default()
+        })
+        .try_run(&spec("accept-strict"))
+        .unwrap_err();
+    let SweepError::Strict(partial) = &err;
+    assert_eq!(partial.failed.len(), 1);
+    assert!(!partial.is_complete());
+}
