@@ -1,12 +1,24 @@
 //! `pipe-sim` — assemble and run a PIPE program. See `--help`.
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
-use pipe_cli::{parse_sim_args, SIM_USAGE};
-use pipe_core::{Processor, TextTrace};
+use pipe_cli::{parse_sim_args, REPLAY_USAGE, SIM_USAGE, STORE_USAGE};
+use pipe_core::{MultiSink, Processor, TextTrace};
+use pipe_trace::{TraceMeta, TraceRecorder};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Subcommands first, so `pipe-sim replay --help` shows the replay
+    // usage rather than the run usage.
+    match args.first().map(String::as_str) {
+        Some("replay") => return replay_main(&args[1..]),
+        Some("store") => return store_main(&args[1..]),
+        _ => {}
+    }
+
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{SIM_USAGE}");
         return ExitCode::SUCCESS;
@@ -32,17 +44,18 @@ fn main() -> ExitCode {
         };
     }
 
-    let program = if opts.livermore {
+    let (program, workload_key) = if opts.livermore {
         let suite = pipe_workloads::livermore_benchmark();
         println!(
             "running the Livermore benchmark ({} instructions)",
             suite.expected_instructions()
         );
-        suite.program().clone()
+        let key = pipe_experiments::WorkloadSpec::livermore().key();
+        (suite.program().clone(), key)
     } else {
         let path = opts.input.as_deref().expect("validated");
         match pipe_cli::load_program(path, opts.format) {
-            Ok(p) => p,
+            Ok(p) => (p, format!("file:{path}")),
             Err(e) => {
                 eprintln!("pipe-sim: {e}");
                 return ExitCode::FAILURE;
@@ -64,11 +77,51 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if opts.trace {
-        proc.set_trace(Box::new(TextTrace::new(std::io::stderr())));
+
+    let recorder = match &opts.record_trace {
+        Some(path) => {
+            let meta = TraceMeta {
+                workload: workload_key,
+                program_fnv: pipe_trace::program_fnv(&program),
+                entry_pc: program.entry(),
+                fetch_key: opts.config.fetch.cache_key(),
+                mem_key: pipe_experiments::mem_key(&opts.config.mem),
+            };
+            match TraceRecorder::create(std::path::Path::new(path), &meta) {
+                Ok(rec) => Some(Rc::new(RefCell::new(rec))),
+                Err(e) => {
+                    eprintln!("pipe-sim: cannot record to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    match (&recorder, opts.trace) {
+        (Some(rec), true) => {
+            let mut sink = MultiSink::new();
+            sink.push(Box::new(Rc::clone(rec)));
+            sink.push(Box::new(TextTrace::new(std::io::stderr())));
+            proc.set_trace(Box::new(sink));
+        }
+        (Some(rec), false) => proc.set_trace(Box::new(Rc::clone(rec))),
+        (None, true) => proc.set_trace(Box::new(TextTrace::new(std::io::stderr()))),
+        (None, false) => {}
     }
+
     match proc.run() {
         Ok(stats) => {
+            if let (Some(rec), Some(path)) = (&recorder, &opts.record_trace) {
+                match rec.borrow_mut().finish(stats.cycles) {
+                    Ok((_, summary)) => {
+                        println!("recorded {} instructions to {path}", summary.instructions);
+                    }
+                    Err(e) => {
+                        eprintln!("pipe-sim: cannot finish trace {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             if opts.json {
                 println!("{}", pipe_cli::stats_json(&stats));
             } else {
@@ -85,6 +138,47 @@ fn main() -> ExitCode {
             );
             eprintln!("{}", proc.stats());
             ExitCode::FAILURE
+        }
+    }
+}
+
+fn replay_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{REPLAY_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match pipe_cli::parse_replay_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pipe-sim replay: {e}\n\n{REPLAY_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match pipe_cli::run_replay(&opts) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pipe-sim replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn store_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{STORE_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match pipe_cli::run_store_command(args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pipe-sim store: {e}\n\n{STORE_USAGE}");
+            ExitCode::from(2)
         }
     }
 }

@@ -29,6 +29,8 @@ pub struct SimOptions {
     pub format: InstrFormat,
     /// Attach a text trace to stderr.
     pub trace: bool,
+    /// Record the run into a binary `.ptr` trace at this path.
+    pub record_trace: Option<String>,
     /// Emit statistics as JSON instead of text.
     pub json: bool,
     /// Run the program on every fetch strategy and print a comparison.
@@ -64,6 +66,8 @@ usage: pipe-sim <program.s> [options]
        pipe-sim --livermore [options]
        pipe-sim --sweep 4a|4b|5a|5b|6a|6b [--jobs N] [--resume] [--store DIR]
                 [--strict] [--events DIR]
+       pipe-sim replay <trace> [options]      (see pipe-sim replay --help)
+       pipe-sim store prune [--store DIR]
 
 fetch strategy:
   --fetch pipe|conventional|tib|buffers|perfect   (default: pipe)
@@ -84,6 +88,8 @@ memory:
 other:
   --format fixed32|mixed   instruction format       (default: fixed32)
   --trace              print a cycle trace to stderr
+  --record-trace FILE  record the run into a binary .ptr trace (replay it
+                       with `pipe-sim replay`)
   --json               emit statistics as JSON
   --compare            run on every fetch strategy and compare
   --max-cycles N       abort after N cycles
@@ -128,6 +134,7 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
     let mut mem = MemConfig::default();
     let mut format = InstrFormat::Fixed32;
     let mut trace = false;
+    let mut record_trace = None;
     let mut json = false;
     let mut compare = false;
     let mut max_cycles = 500_000_000u64;
@@ -173,6 +180,9 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
                 };
             }
             "--trace" => trace = true,
+            "--record-trace" => {
+                record_trace = Some(it.next().ok_or("--record-trace needs a file")?.clone());
+            }
             "--json" => json = true,
             "--compare" => compare = true,
             "--max-cycles" => {
@@ -223,6 +233,9 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
     if input.is_some() && livermore {
         return Err("--livermore conflicts with an input file".into());
     }
+    if record_trace.is_some() && (sweep.is_some() || compare) {
+        return Err("--record-trace records a single run (not --sweep or --compare)".into());
+    }
 
     let kind = FetchKind::parse(&fetch_kind)
         .ok_or_else(|| format!("--fetch: unknown strategy `{fetch_kind}`"))?;
@@ -254,6 +267,7 @@ pub fn parse_sim_args(args: &[String]) -> Result<SimOptions, String> {
         config,
         format,
         trace,
+        record_trace,
         json,
         compare,
         cache_bytes: cache,
@@ -311,6 +325,336 @@ pub fn run_sweep(opts: &SimOptions) -> Result<String, String> {
         eprintln!("  [events written to {}]", path.display());
     }
     Ok(out)
+}
+
+/// Options for `pipe-sim replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOptions {
+    /// Path to the trace: binary `.ptr` or plain-text addresses.
+    pub trace: String,
+    /// Explicit backing program, for traces whose recorded workload this
+    /// binary cannot rebuild.
+    pub program: Option<String>,
+    /// Instruction format for assembling `--program`.
+    pub format: InstrFormat,
+    /// The fetch engine to replay through.
+    pub fetch: FetchStrategy,
+    /// External memory timing.
+    pub mem: MemConfig,
+    /// Fail unless the replay reproduces the recorded totals exactly.
+    pub verify: bool,
+    /// Emit statistics as JSON.
+    pub json: bool,
+}
+
+/// The usage string for `pipe-sim replay`.
+pub const REPLAY_USAGE: &str = "\
+usage: pipe-sim replay <trace> [options]
+
+Replays a recorded instruction trace through a fetch engine without the
+functional core. <trace> is a binary .ptr file (from --record-trace) or a
+plain-text address trace (one fetch address per line, decimal or 0x hex,
+`#` comments). For a binary trace the backing program is rebuilt from the
+trace header when possible; otherwise pass --program.
+
+options:
+  --program FILE       the program the trace was recorded from
+                       (fingerprint-checked against the trace header)
+  --format fixed32|mixed   instruction format for --program
+  --fetch pipe|conventional|tib|buffers|perfect   (default: pipe)
+  --cache BYTES        cache size / TIB budget     (default: 128)
+  --line BYTES         cache line size             (default: 16)
+  --iq BYTES           PIPE instruction queue bytes
+  --iqb BYTES          PIPE instruction queue buffer bytes
+  --prefetch always|on-miss|tagged   conventional prefetch
+  --access CYCLES      memory access time          (default: 1)
+  --bus BYTES          input bus width             (default: 4)
+  --pipelined          pipelined external memory
+  --data-first         data beats instructions at the memory interface
+  --verify             exit nonzero unless the replay reproduces the
+                       recorded instruction/cycle/ifetch-stall totals
+                       (requires replaying the recorded configuration)
+  --json               emit statistics as JSON
+";
+
+/// Parses `pipe-sim replay` arguments (excluding the subcommand name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags, missing values, or a
+/// missing trace path.
+pub fn parse_replay_args(args: &[String]) -> Result<ReplayOptions, String> {
+    let mut trace = None;
+    let mut program = None;
+    let mut format = InstrFormat::Fixed32;
+    let mut fetch_kind = "pipe".to_string();
+    let mut cache = 128u32;
+    let mut line = 16u32;
+    let mut iq = None;
+    let mut iqb = None;
+    let mut prefetch = ConvPrefetch::Always;
+    let mut mem = MemConfig::default();
+    let mut verify = false;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--program" => {
+                program = Some(it.next().ok_or("--program needs a file")?.clone());
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("fixed32") => InstrFormat::Fixed32,
+                    Some("mixed") => InstrFormat::Mixed,
+                    other => return Err(format!("--format: unknown format {other:?}")),
+                };
+            }
+            "--fetch" => {
+                fetch_kind = it
+                    .next()
+                    .ok_or("--fetch needs a value")?
+                    .to_ascii_lowercase();
+            }
+            "--cache" => cache = parse_num("--cache", it.next())?,
+            "--line" => line = parse_num("--line", it.next())?,
+            "--iq" => iq = Some(parse_num("--iq", it.next())?),
+            "--iqb" => iqb = Some(parse_num("--iqb", it.next())?),
+            "--prefetch" => {
+                prefetch = match it.next().map(String::as_str) {
+                    Some("always") => ConvPrefetch::Always,
+                    Some("on-miss") => ConvPrefetch::OnMissOnly,
+                    Some("tagged") => ConvPrefetch::Tagged,
+                    other => return Err(format!("--prefetch: unknown mode {other:?}")),
+                };
+            }
+            "--access" => mem.access_cycles = parse_num("--access", it.next())?,
+            "--bus" => mem.in_bus_bytes = parse_num("--bus", it.next())?,
+            "--pipelined" => mem.pipelined = true,
+            "--data-first" => mem.priority = PriorityPolicy::DataFirst,
+            "--verify" => verify = true,
+            "--json" => json = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            path => {
+                if trace.is_some() {
+                    return Err("more than one trace file".into());
+                }
+                trace = Some(path.to_string());
+            }
+        }
+    }
+
+    let kind = FetchKind::parse(&fetch_kind)
+        .ok_or_else(|| format!("--fetch: unknown strategy `{fetch_kind}`"))?;
+    let mut builder = EngineBuilder::new(kind)
+        .cache_bytes(cache)
+        .line_bytes(line)
+        .prefetch(prefetch)
+        .buffers(iq.unwrap_or(4))
+        .buffer_cache(cache > 0);
+    if let Some(iq) = iq {
+        builder = builder.iq_bytes(iq);
+    }
+    if let Some(iqb) = iqb {
+        builder = builder.iqb_bytes(iqb);
+    }
+    let fetch = builder.config().map_err(|e| e.to_string())?;
+
+    Ok(ReplayOptions {
+        trace: trace.ok_or("no trace file (give a .ptr or address-trace path)")?,
+        program,
+        format,
+        fetch,
+        mem,
+        verify,
+        json,
+    })
+}
+
+/// Renders replay statistics as text.
+pub fn render_replay_stats(stats: &pipe_icache::ReplayStats) -> String {
+    format!(
+        "{} instructions, {} cycles (CPI {:.3})\n\
+         ifetch-stall cycles {}, recorded wait cycles {}\n\
+         fetch: {} demand + {} prefetch requests, {} bytes, \
+         {} hits / {} misses, {} redirects\n",
+        stats.instructions,
+        stats.cycles,
+        stats.cpi(),
+        stats.ifetch_stalls,
+        stats.wait_cycles,
+        stats.fetch.demand_requests,
+        stats.fetch.prefetch_requests,
+        stats.fetch.bytes_requested,
+        stats.fetch.cache_hits,
+        stats.fetch.cache_misses,
+        stats.fetch.redirects,
+    )
+}
+
+/// Serializes replay statistics as a JSON object.
+pub fn replay_stats_json(stats: &pipe_icache::ReplayStats) -> String {
+    format!(
+        concat!(
+            "{{\"cycles\":{},\"instructions\":{},\"cpi\":{:.4},",
+            "\"ifetch_stalls\":{},\"wait_cycles\":{},",
+            "\"fetch\":{{\"demand_requests\":{},\"prefetch_requests\":{},",
+            "\"bytes_requested\":{},\"cache_hits\":{},\"cache_misses\":{},",
+            "\"redirects\":{},\"wasted_requests\":{}}}}}"
+        ),
+        stats.cycles,
+        stats.instructions,
+        stats.cpi(),
+        stats.ifetch_stalls,
+        stats.wait_cycles,
+        stats.fetch.demand_requests,
+        stats.fetch.prefetch_requests,
+        stats.fetch.bytes_requested,
+        stats.fetch.cache_hits,
+        stats.fetch.cache_misses,
+        stats.fetch.redirects,
+        stats.fetch.wasted_requests,
+    )
+}
+
+/// Runs `pipe-sim replay`: loads the trace, rebuilds or loads the backing
+/// program, replays it through the configured fetch engine, and returns
+/// the rendered statistics. With `verify`, an inexact reproduction of the
+/// recorded totals is an error.
+///
+/// # Errors
+///
+/// Returns a user-facing message for I/O failures, undecodable or
+/// corrupt traces, program mismatches, stuck replays, and verification
+/// failures.
+pub fn run_replay(opts: &ReplayOptions) -> Result<String, String> {
+    use pipe_experiments::tracerun;
+    let path = std::path::Path::new(&opts.trace);
+    let display = path.display();
+    let binary =
+        tracerun::is_binary_trace(path).map_err(|e| format!("cannot read {display}: {e}"))?;
+    let mut out = String::new();
+    let (stats, recorded) = if binary {
+        let reader = pipe_trace::TraceReader::open(path).map_err(|e| format!("{display}: {e}"))?;
+        let program = match &opts.program {
+            Some(p) => load_program(p, opts.format)?,
+            None => tracerun::trace_program(path)
+                .map_err(|e| format!("{e} (pass --program <file> to supply it)"))?,
+        };
+        let meta = reader.meta().clone();
+        let outcome = pipe_trace::replay_trace(reader, &program, &opts.fetch, &opts.mem)
+            .map_err(|e| format!("{display}: {e}"))?;
+        if !opts.json {
+            out.push_str(&format!(
+                "replaying {display} (workload {}, recorded under fetch {})\n\
+                 replay engine: {}\n",
+                meta.workload,
+                meta.fetch_key,
+                opts.fetch.label(),
+            ));
+        }
+        (outcome.stats, outcome.recorded)
+    } else {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {display}: {e}"))?;
+        let addrs =
+            pipe_trace::parse_address_trace(&text).map_err(|e| format!("{display}: {e}"))?;
+        let program = match &opts.program {
+            Some(p) => load_program(p, opts.format)?,
+            None => {
+                pipe_trace::synthesize_program(&addrs).map_err(|e| format!("{display}: {e}"))?
+            }
+        };
+        let steps = pipe_trace::schedule_from_addresses(&addrs);
+        let engine = opts
+            .fetch
+            .build(&program)
+            .map_err(|e| format!("invalid replay configuration: {e}"))?;
+        let mut harness =
+            pipe_icache::ReplayHarness::new(engine, pipe_mem::MemorySystem::new(opts.mem.clone()));
+        harness.run(steps).map_err(|e| format!("{display}: {e}"))?;
+        if !opts.json {
+            out.push_str(&format!(
+                "replaying {display} ({} addresses, synthetic nop program)\n\
+                 replay engine: {}\n",
+                addrs.len(),
+                opts.fetch.label(),
+            ));
+        }
+        (harness.stats(), None)
+    };
+    if opts.json {
+        out.push_str(&replay_stats_json(&stats));
+        out.push('\n');
+    } else {
+        out.push_str(&render_replay_stats(&stats));
+    }
+    if opts.verify {
+        let recorded =
+            recorded.ok_or("--verify needs a binary trace with a complete end summary")?;
+        if recorded.instructions != stats.instructions
+            || recorded.cycles != stats.cycles
+            || recorded.ifetch_stalls != stats.ifetch_stalls
+        {
+            return Err(format!(
+                "verification failed: recorded {}/{}/{} \
+                 (instructions/cycles/ifetch stalls), replay produced {}/{}/{} \
+                 — is the replay configuration the recorded one?",
+                recorded.instructions,
+                recorded.cycles,
+                recorded.ifetch_stalls,
+                stats.instructions,
+                stats.cycles,
+                stats.ifetch_stalls,
+            ));
+        }
+        out.push_str("[verify] replay reproduces the recorded run exactly\n");
+    }
+    Ok(out)
+}
+
+/// The usage string for `pipe-sim store`.
+pub const STORE_USAGE: &str = "\
+usage: pipe-sim store prune [--store DIR]
+
+prune: delete result-store entries that current code can never load —
+entries recording a different format version, corrupt or truncated
+entries, entries whose file name no longer matches their key's hash
+(a stale key format), and leftover temp files from interrupted writes.
+Valid entries are untouched.
+
+  --store DIR          result-store root            (default: results)
+";
+
+/// Runs a `pipe-sim store` action and returns the rendered report.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown actions or store failures.
+pub fn run_store_command(args: &[String]) -> Result<String, String> {
+    let mut action = None;
+    let mut store_dir = "results".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => {
+                store_dir = it.next().ok_or("--store needs a directory")?.clone();
+            }
+            "prune" if action.is_none() => action = Some("prune"),
+            other => return Err(format!("store: unknown argument `{other}`")),
+        }
+    }
+    match action {
+        Some("prune") => {
+            let root = std::path::PathBuf::from(&store_dir);
+            let store = pipe_experiments::ResultStore::open(&root)
+                .map_err(|e| format!("cannot open result store {}: {e}", root.display()))?;
+            let report = store.prune().map_err(|e| format!("prune failed: {e}"))?;
+            Ok(format!("pruned {}: {report}\n", store.dir().display()))
+        }
+        None => Err("store needs an action (prune)".into()),
+        Some(_) => unreachable!(),
+    }
 }
 
 /// Serializes run statistics as a JSON object (hand-rolled; the stats are
@@ -626,6 +970,75 @@ mod tests {
         let text = render_comparison(&rows);
         assert!(text.contains("perfect"));
         assert!(text.contains("tib"));
+    }
+
+    #[test]
+    fn replay_args_parse() {
+        let o = parse_replay_args(&args(
+            "run.ptr --fetch conventional --cache 64 --line 16 --access 6 --bus 8 --verify --json",
+        ))
+        .unwrap();
+        assert_eq!(o.trace, "run.ptr");
+        assert!(matches!(o.fetch, FetchStrategy::Conventional(c) if c.cache.size_bytes == 64));
+        assert_eq!(o.mem.access_cycles, 6);
+        assert_eq!(o.mem.in_bus_bytes, 8);
+        assert!(o.verify);
+        assert!(o.json);
+        assert!(o.program.is_none());
+
+        let o = parse_replay_args(&args("addrs.txt --program p.s --format mixed")).unwrap();
+        assert_eq!(o.trace, "addrs.txt");
+        assert_eq!(o.program.as_deref(), Some("p.s"));
+        assert_eq!(o.format, InstrFormat::Mixed);
+        // Defaults mirror `pipe-sim run`: PIPE engine, 128 B cache.
+        assert!(matches!(o.fetch, FetchStrategy::Pipe(_)));
+
+        assert!(parse_replay_args(&args("")).is_err()); // no trace
+        assert!(parse_replay_args(&args("a.ptr b.ptr")).is_err()); // two traces
+        assert!(parse_replay_args(&args("a.ptr --bogus")).is_err());
+    }
+
+    #[test]
+    fn record_trace_flag() {
+        let o = parse_sim_args(&args("p.s --record-trace out.ptr")).unwrap();
+        assert_eq!(o.record_trace.as_deref(), Some("out.ptr"));
+        let o = parse_sim_args(&args("p.s")).unwrap();
+        assert!(o.record_trace.is_none());
+        // Recording is a single-run feature.
+        assert!(parse_sim_args(&args("--sweep 4a --record-trace out.ptr")).is_err());
+        assert!(parse_sim_args(&args("p.s --compare --record-trace out.ptr")).is_err());
+        assert!(parse_sim_args(&args("p.s --record-trace")).is_err());
+    }
+
+    #[test]
+    fn store_prune_command() {
+        let tmp = std::env::temp_dir().join(format!("pipe-cli-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let store = pipe_experiments::ResultStore::open(&tmp).unwrap();
+        std::fs::write(store.dir().join("junk.json"), "not json").unwrap();
+        let out = run_store_command(&args(&format!("prune --store {}", tmp.display()))).unwrap();
+        assert!(out.contains("kept 0 entries"), "{out}");
+        assert!(out.contains("removed 1"), "{out}");
+
+        assert!(run_store_command(&args("")).is_err()); // no action
+        assert!(run_store_command(&args("vacuum")).is_err()); // unknown action
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn replay_stats_json_shape() {
+        let stats = pipe_icache::ReplayStats {
+            cycles: 200,
+            instructions: 100,
+            ifetch_stalls: 0,
+            wait_cycles: 0,
+            fetch: pipe_icache::FetchStats::default(),
+        };
+        let j = replay_stats_json(&stats);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"cycles\":200"));
+        assert!(j.contains("\"cpi\":2.0000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

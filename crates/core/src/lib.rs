@@ -50,4 +50,7 @@ pub use processor::{run_program, Processor, SimError};
 pub use queues::{AddressQueue, LoadQueue};
 pub use regfile::{BranchRegFile, RegFile};
 pub use stats::{SimStats, StallBreakdown};
-pub use trace::{Region, RegionProfiler, StallReason, TextTrace, TraceEvent, TraceSink, VecTrace};
+pub use trace::{
+    DataOp, MultiSink, Region, RegionProfiler, StallReason, TextTrace, TraceEvent, TraceSink,
+    VecTrace,
+};

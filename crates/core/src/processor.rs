@@ -33,7 +33,7 @@ use crate::config::SimConfig;
 use crate::queues::{AddressQueue, LoadQueue};
 use crate::regfile::{BranchRegFile, RegFile};
 use crate::stats::SimStats;
-use crate::trace::{StallReason, TraceEvent, TraceSink};
+use crate::trace::{DataOp, StallReason, TraceEvent, TraceSink};
 
 /// An error terminating a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -479,6 +479,10 @@ impl Processor {
     fn write_dest(&mut self, r: Reg, value: u32) {
         if r.is_queue() {
             self.sdq.push_back(value);
+            self.emit(TraceEvent::DataIssue {
+                cycle: self.cycle,
+                op: DataOp::StoreData { value },
+            });
         } else {
             self.regs.write(r, value);
         }
@@ -523,6 +527,10 @@ impl Processor {
                 self.laq.push(addr, seq, self.data_seq);
                 self.data_seq += 1;
                 self.stats.loads += 1;
+                self.emit(TraceEvent::DataIssue {
+                    cycle: self.cycle,
+                    op: DataOp::Load { addr },
+                });
             }
             Instruction::StoreAddr { base, disp } => {
                 let addr = self
@@ -531,6 +539,10 @@ impl Processor {
                 self.saq.push(addr, 0, self.data_seq);
                 self.data_seq += 1;
                 self.stats.stores += 1;
+                self.emit(TraceEvent::DataIssue {
+                    cycle: self.cycle,
+                    op: DataOp::StoreAddr { addr },
+                });
                 if Self::fpu_op(addr).is_some() {
                     let seq = self.ldq.alloc().expect("resource-checked");
                     self.fpu_result_slots.push_back(seq);

@@ -39,6 +39,30 @@ impl fmt::Display for StallReason {
     }
 }
 
+/// A data-side operation queued by the instruction that issued this
+/// cycle. These events let a trace recorder capture the complete memory
+/// "timing skeleton" of a run: replaying them re-creates the data-side
+/// bus and memory-array contention that instruction fetches competed
+/// with, which is what makes trace replay cycle-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataOp {
+    /// A `ldw` pushed this effective address onto the load address queue.
+    Load {
+        /// Effective byte address.
+        addr: u32,
+    },
+    /// A `sta` pushed this effective address onto the store address queue.
+    StoreAddr {
+        /// Effective byte address.
+        addr: u32,
+    },
+    /// A write to `r7` pushed this value onto the store data queue.
+    StoreData {
+        /// The 32-bit value queued.
+        value: u32,
+    },
+}
+
 /// One trace event. Every pre-halt cycle produces exactly one `Issue` or
 /// `Stall` event; the others interleave as they occur.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +95,15 @@ pub enum TraceEvent {
         /// Delay-slot instructions still to issue.
         remaining: u32,
     },
+    /// The instruction issued this cycle queued a data-side operation.
+    /// Emitted after the corresponding [`TraceEvent::Issue`], one event
+    /// per operation, in program order.
+    DataIssue {
+        /// Cycle number (same as the owning `Issue` event).
+        cycle: u64,
+        /// The operation queued.
+        op: DataOp,
+    },
     /// The program halted (issue side; draining may continue).
     Halted {
         /// Cycle number.
@@ -85,6 +118,7 @@ impl TraceEvent {
             TraceEvent::Issue { cycle, .. }
             | TraceEvent::Stall { cycle, .. }
             | TraceEvent::BranchResolved { cycle, .. }
+            | TraceEvent::DataIssue { cycle, .. }
             | TraceEvent::Halted { cycle } => *cycle,
         }
     }
@@ -101,6 +135,33 @@ pub trait TraceSink {
 impl<S: TraceSink> TraceSink for std::rc::Rc<std::cell::RefCell<S>> {
     fn event(&mut self, event: &TraceEvent) {
         self.borrow_mut().event(event);
+    }
+}
+
+/// Fans every event out to several sinks, in order. Lets a run drive a
+/// text trace and a trace recorder (or profiler) at the same time.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl MultiSink {
+    /// Creates an empty fan-out sink.
+    pub fn new() -> MultiSink {
+        MultiSink::default()
+    }
+
+    /// Adds a sink; events are delivered in insertion order.
+    pub fn push(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+}
+
+impl TraceSink for MultiSink {
+    fn event(&mut self, event: &TraceEvent) {
+        for s in &mut self.sinks {
+            s.event(event);
+        }
     }
 }
 
@@ -170,6 +231,14 @@ impl<W: std::io::Write> TraceSink for TextTrace<W> {
                 "[{cycle:>8}]           -- branch {} target {target:#x} ({remaining} slots left)",
                 if *taken { "TAKEN" } else { "not taken" }
             ),
+            TraceEvent::DataIssue { cycle, op } => {
+                let desc = match op {
+                    DataOp::Load { addr } => format!("load {addr:#x} -> LAQ"),
+                    DataOp::StoreAddr { addr } => format!("store {addr:#x} -> SAQ"),
+                    DataOp::StoreData { value } => format!("value {value:#x} -> SDQ"),
+                };
+                format!("[{cycle:>8}]           -- data {desc}")
+            }
             TraceEvent::Halted { cycle } => format!("[{cycle:>8}]           -- halt"),
         };
         let _ = writeln!(self.out, "{line}");

@@ -3,14 +3,21 @@
 //! ```text
 //! repro [--all] [--table1] [--table2] [--fig4a ... --fig6b]
 //!       [--ablation-access] [--ablation-priority] [--ablation-prefetch]
-//!       [--ablation-format] [--check] [--csv-dir DIR]
+//!       [--ablation-format] [--check] [--csv-dir DIR] [--from-trace FILE]
 //!       [--jobs N] [--resume] [--store DIR] [--progress]
 //!       [--strict] [--events DIR]
 //! ```
 //!
 //! With no arguments, runs everything except the ablations. `--check`
 //! verifies the paper's qualitative expectations and exits nonzero on a
-//! violation. `--csv-dir` additionally writes one CSV per figure.
+//! violation. `--csv-dir` additionally writes one CSV per figure (and,
+//! with `--profile`, one per-loop CSV per profiled strategy).
+//!
+//! `--from-trace FILE` runs the selected figure sweeps trace-driven:
+//! every point replays the given trace (binary `.ptr` or plain-text
+//! addresses) through its fetch engine instead of executing the
+//! functional core, and the result store keys on the trace's content
+//! hash. Record a trace with `pipe-sim --livermore --record-trace`.
 //!
 //! The figure sweeps run on the parallel sweep engine: `--jobs N` spreads
 //! the points over N worker threads (cycle counts are bit-identical to a
@@ -29,10 +36,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pipe_experiments::figures::{ablation, try_figure_with, Figure, ALL_ABLATIONS, ALL_FIGURES};
+use pipe_experiments::figures::{
+    ablation, try_figure_with, try_figure_with_workload, Figure, ALL_ABLATIONS, ALL_FIGURES,
+};
 use pipe_experiments::report::{check_expectations, render_csv, render_failures, render_text};
 use pipe_experiments::store::ResultStore;
-use pipe_experiments::sweep::{FailedJob, SweepRunner};
+use pipe_experiments::sweep::{FailedJob, SweepRunner, WorkloadSpec};
 use pipe_experiments::tables::{render_table1, render_table2};
 
 struct Options {
@@ -44,6 +53,7 @@ struct Options {
     check: bool,
     csv_dir: Option<PathBuf>,
     svg_dir: Option<PathBuf>,
+    from_trace: Option<PathBuf>,
     jobs: usize,
     resume: bool,
     store: Option<PathBuf>,
@@ -62,6 +72,7 @@ fn parse_args() -> Result<Options, String> {
         check: false,
         csv_dir: None,
         svg_dir: None,
+        from_trace: None,
         jobs: 1,
         resume: false,
         store: None,
@@ -122,6 +133,10 @@ fn parse_args() -> Result<Options, String> {
             "--svg-dir" => {
                 let dir = args.next().ok_or("--svg-dir needs a directory")?;
                 opts.svg_dir = Some(PathBuf::from(dir));
+            }
+            "--from-trace" => {
+                let file = args.next().ok_or("--from-trace needs a trace file")?;
+                opts.from_trace = Some(PathBuf::from(file));
             }
             other => {
                 if let Some(id) = other.strip_prefix("--fig") {
@@ -221,9 +236,26 @@ fn main() -> ExitCode {
         }
     }
 
+    // Trace-driven mode: validate the trace once, then substitute it for
+    // the Livermore workload in every selected figure sweep.
+    let trace_workload = match &opts.from_trace {
+        Some(path) => match WorkloadSpec::trace(path) {
+            Ok(wl) => Some(wl),
+            Err(e) => {
+                eprintln!("repro: --from-trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let mut total_failed = 0usize;
     for id in &opts.figures {
-        match try_figure_with(id, &runner) {
+        let result = match &trace_workload {
+            Some(wl) => try_figure_with_workload(id, &runner, wl.clone()),
+            None => try_figure_with(id, &runner),
+        };
+        match result {
             Ok(run) => {
                 total_failed += run.failed().len();
                 emit(&run.figure, run.failed(), &opts, &mut violations);
@@ -244,7 +276,7 @@ fn main() -> ExitCode {
     }
 
     if opts.profile {
-        use pipe_experiments::profile::{per_loop_profile, render_profile};
+        use pipe_experiments::profile::{per_loop_profile, render_profile, render_profile_csv};
         use pipe_experiments::StrategyKind;
         let suite = pipe_workloads::livermore_benchmark();
         let mem = pipe_mem::MemConfig {
@@ -258,6 +290,12 @@ fn main() -> ExitCode {
                 .expect("valid");
             let profile = per_loop_profile(&suite, fetch, &mem);
             println!("{}", render_profile(&profile));
+            if let Some(dir) = &opts.csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = dir.join(format!("profile_{}.csv", kind.label()));
+                std::fs::write(&path, render_profile_csv(&profile)).expect("write profile csv");
+                println!("  [csv written to {}]", path.display());
+            }
         }
     }
 

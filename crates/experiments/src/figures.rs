@@ -153,6 +153,41 @@ pub fn try_figure_with(id: &str, runner: &SweepRunner) -> Result<FigureRun, Swee
     })
 }
 
+/// Reproduces one of the paper's figure panels with its workload replaced
+/// — typically a [`WorkloadSpec::Trace`] so the whole sweep runs
+/// trace-driven (`repro --from-trace`). The figure id, strategies, cache
+/// sizes, and memory timing are unchanged; the title marks the
+/// substituted workload and the store keys on the workload's content.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Strict`] when the runner is strict and a job
+/// failed; the error carries the partial outcome.
+///
+/// # Panics
+///
+/// Panics on an unknown id; valid ids are listed in [`ALL_FIGURES`].
+pub fn try_figure_with_workload(
+    id: &str,
+    runner: &SweepRunner,
+    workload: WorkloadSpec,
+) -> Result<FigureRun, SweepError> {
+    let (mem, title) = figure_mem(id);
+    let mut spec = SweepSpec::figure(id);
+    spec.workload = workload;
+    let wl = spec.workload.key();
+    let outcome = runner.try_run(&spec)?;
+    Ok(FigureRun {
+        figure: Figure {
+            id: format!("fig{id}"),
+            title: format!("Figure {id}: {title} [workload: {wl}]"),
+            mem,
+            series: outcome.series.clone(),
+        },
+        outcome,
+    })
+}
+
 /// Reproduces one of the paper's figure panels using `runner` for
 /// execution (worker count, result store, progress).
 ///

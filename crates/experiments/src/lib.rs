@@ -31,19 +31,21 @@ pub mod studies;
 pub mod svg;
 pub mod sweep;
 pub mod tables;
+pub mod tracerun;
 
 pub use events::RunLog;
 pub use figures::{
-    ablation, figure, figure_with, try_figure_with, Figure, FigureRun, Series, ALL_ABLATIONS,
-    ALL_FIGURES,
+    ablation, figure, figure_with, try_figure_with, try_figure_with_workload, Figure, FigureRun,
+    Series, ALL_ABLATIONS, ALL_FIGURES,
 };
 pub use matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
-pub use profile::{per_loop_profile, render_profile, LoopProfile, LoopShare};
+pub use profile::{per_loop_profile, render_profile, render_profile_csv, LoopProfile, LoopShare};
 pub use report::{check_expectations, render_csv, render_failures, render_text};
 pub use runner::{run_point, try_run_point, ExperimentPoint};
-pub use store::{fnv1a64, ResultStore, StoreError, StoredPoint};
+pub use store::{fnv1a64, PruneReport, ResultStore, StoreError, StoredPoint};
 pub use svg::render_figure_svg;
 pub use sweep::{
-    FailedJob, FaultInjection, JobError, PointOutcome, SweepError, SweepJob, SweepOutcome,
+    mem_key, FailedJob, FaultInjection, JobError, PointOutcome, SweepError, SweepJob, SweepOutcome,
     SweepRunner, SweepSpec, WorkloadSpec,
 };
+pub use tracerun::{parse_workload_key, replay_point, trace_program};

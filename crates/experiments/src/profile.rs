@@ -129,6 +129,37 @@ pub fn render_profile(profile: &LoopProfile) -> String {
     out
 }
 
+/// Renders a profile as CSV: one row per loop, then an `other` row for
+/// cycles outside any loop body and a `total` row. The `share` column is
+/// each row's fraction of total cycles (0..1).
+pub fn render_profile_csv(profile: &LoopProfile) -> String {
+    let share = |cycles: u64| cycles as f64 / profile.total_cycles as f64;
+    let mut out = String::from("loop,name,inner_loop_bytes,instructions,cycles,cpi,share\n");
+    for s in &profile.shares {
+        out.push_str(&format!(
+            "LL{},{},{},{},{},{:.4},{:.4}\n",
+            s.index,
+            s.name,
+            s.inner_loop_bytes,
+            s.instructions,
+            s.cycles,
+            s.cpi(),
+            share(s.cycles),
+        ));
+    }
+    out.push_str(&format!(
+        "other,,,,{},,{:.4}\n",
+        profile.other_cycles,
+        share(profile.other_cycles),
+    ));
+    let instructions: u64 = profile.shares.iter().map(|s| s.instructions).sum();
+    out.push_str(&format!(
+        "total,,,{},{},,1.0000\n",
+        instructions, profile.total_cycles,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +183,18 @@ mod tests {
         }
         let text = render_profile(&profile);
         assert!(text.contains("LL14"));
+
+        // CSV form: header, 14 loop rows, `other`, `total` — and the
+        // cycle column re-sums to the run total.
+        let csv = render_profile_csv(&profile);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 14 + 2);
+        assert!(lines[0].starts_with("loop,name,"));
+        let cycles_of = |line: &str| line.split(',').nth(4).unwrap().parse::<u64>().unwrap();
+        let body: u64 = lines[1..=14].iter().map(|l| cycles_of(l)).sum();
+        assert_eq!(body + cycles_of(lines[15]), profile.total_cycles);
+        assert!(lines[16].starts_with("total,"));
+        assert!(lines[16].ends_with("1.0000"));
     }
 
     #[test]

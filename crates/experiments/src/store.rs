@@ -347,6 +347,100 @@ impl ResultStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Deletes every entry that current code could never load: entries
+    /// recording a different format version, entries that fail to parse,
+    /// entries whose file name no longer matches the FNV hash of their
+    /// recorded key (a stale key format), and leftover `.tmp` files from
+    /// interrupted writes. Valid entries are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the store directory cannot be
+    /// listed or a stale file cannot be removed.
+    pub fn prune(&self) -> io::Result<PruneReport> {
+        let mut report = PruneReport::default();
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let path = dirent?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.contains(".tmp.") {
+                std::fs::remove_file(&path)?;
+                report.removed_tmp += 1;
+                continue;
+            }
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                std::fs::remove_file(&path)?;
+                report.removed_corrupt += 1;
+                continue;
+            };
+            match StoredPoint::from_json(&text) {
+                None => {
+                    let version_mismatch =
+                        json_u64(&text, "version").is_some_and(|v| v != u64::from(STORE_VERSION));
+                    std::fs::remove_file(&path)?;
+                    if version_mismatch {
+                        report.removed_version += 1;
+                    } else {
+                        report.removed_corrupt += 1;
+                    }
+                }
+                Some(entry) => {
+                    if name == format!("{:016x}.json", fnv1a64(&entry.key)) {
+                        report.kept += 1;
+                    } else {
+                        std::fs::remove_file(&path)?;
+                        report.removed_hash += 1;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// What [`ResultStore::prune`] removed and kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Valid entries left in place.
+    pub kept: usize,
+    /// Entries recording a different format version.
+    pub removed_version: usize,
+    /// Entries that failed to parse (corrupt or truncated).
+    pub removed_corrupt: usize,
+    /// Entries whose file name no longer matches their key's hash.
+    pub removed_hash: usize,
+    /// Leftover temp files from interrupted writes.
+    pub removed_tmp: usize,
+}
+
+impl PruneReport {
+    /// Total files removed.
+    pub fn removed(&self) -> usize {
+        self.removed_version + self.removed_corrupt + self.removed_hash + self.removed_tmp
+    }
+}
+
+impl fmt::Display for PruneReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kept {} entr{}; removed {} ({} version-mismatched, {} corrupt, \
+             {} hash-mismatched, {} temp file{})",
+            self.kept,
+            if self.kept == 1 { "y" } else { "ies" },
+            self.removed(),
+            self.removed_version,
+            self.removed_corrupt,
+            self.removed_hash,
+            self.removed_tmp,
+            if self.removed_tmp == 1 { "" } else { "s" },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +599,61 @@ mod tests {
         // Every writer succeeded and the surviving entry is valid.
         assert_eq!(store.load(&entry.key).unwrap().unwrap(), entry);
         assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_removes_only_unloadable_entries() {
+        let dir = std::env::temp_dir().join(format!("pipe-store-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+
+        // Two valid entries that must survive.
+        let keep_a = sample("v1|keep-a");
+        let keep_b = sample("v1|keep-b");
+        store.save(&keep_a).unwrap();
+        store.save(&keep_b).unwrap();
+
+        // A version-mismatched entry (filed under its correct hash).
+        let old = sample("v1|old-version");
+        let old_json = old.to_json().replace("\"version\":1", "\"version\":999");
+        std::fs::write(
+            store.dir().join(format!("{:016x}.json", fnv1a64(&old.key))),
+            old_json,
+        )
+        .unwrap();
+
+        // A corrupt entry, an entry filed under the wrong hash, and a
+        // stale temp file.
+        std::fs::write(store.dir().join("00000000deadbeef.json"), "{garbage").unwrap();
+        std::fs::write(
+            store.dir().join("0123456789abcdef.json"),
+            sample("v1|misplaced").to_json(),
+        )
+        .unwrap();
+        std::fs::write(store.dir().join("0000000000000000.tmp.1.2"), "partial").unwrap();
+
+        let report = store.prune().unwrap();
+        assert_eq!(
+            report,
+            PruneReport {
+                kept: 2,
+                removed_version: 1,
+                removed_corrupt: 1,
+                removed_hash: 1,
+                removed_tmp: 1,
+            }
+        );
+        assert_eq!(report.removed(), 4);
+        assert_eq!(store.load(&keep_a.key).unwrap().unwrap(), keep_a);
+        assert_eq!(store.load(&keep_b.key).unwrap().unwrap(), keep_b);
+        assert_eq!(store.len(), 2);
+
+        // A second prune is a no-op.
+        let again = store.prune().unwrap();
+        assert_eq!(again.kept, 2);
+        assert_eq!(again.removed(), 0);
+        assert!(store.prune().unwrap().to_string().contains("kept 2"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -37,7 +37,7 @@
 use std::error::Error;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -78,6 +78,17 @@ pub enum WorkloadSpec {
         /// Instruction format to assemble under.
         format: InstrFormat,
     },
+    /// A pre-recorded instruction trace (binary `.ptr` or plain-text
+    /// addresses), replayed through each job's fetch engine instead of
+    /// running the functional core (see [`crate::tracerun`]). The key
+    /// fragment is the FNV-1a 64 digest of the file's bytes, so stored
+    /// results are invalidated whenever the trace content changes.
+    Trace {
+        /// Path to the trace file.
+        path: String,
+        /// Content hash of the trace file's bytes.
+        fnv: u64,
+    },
 }
 
 impl WorkloadSpec {
@@ -89,19 +100,39 @@ impl WorkloadSpec {
         }
     }
 
-    /// Assembles the workload.
+    /// A trace-driven workload: content-hashes the trace file at `path`
+    /// and validates that it can be loaded and its backing program
+    /// rebuilt (see [`crate::tracerun::trace_program`]).
+    ///
+    /// # Errors
+    ///
+    /// A user-facing message when the file cannot be read, decoded, or
+    /// its backing program reconstructed.
+    pub fn trace(path: &Path) -> Result<WorkloadSpec, String> {
+        crate::tracerun::trace_program(path)?;
+        let fnv = pipe_trace::file_fnv(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(WorkloadSpec::Trace {
+            path: path.to_string_lossy().into_owned(),
+            fnv,
+        })
+    }
+
+    /// Assembles the workload (for a trace, the program backing the
+    /// trace).
     ///
     /// # Panics
     ///
     /// Panics if the built-in benchmark fails to assemble (a bug, not a
-    /// configuration error).
+    /// configuration error), or if a trace file validated by
+    /// [`WorkloadSpec::trace`] has since become unloadable.
     pub fn build(&self) -> Program {
-        match *self {
+        match self {
             WorkloadSpec::Livermore { format, scale } => {
-                let suite = if scale <= 1 {
-                    LivermoreSuite::build(format)
+                let suite = if *scale <= 1 {
+                    LivermoreSuite::build(*format)
                 } else {
-                    LivermoreSuite::build_scaled(format, scale)
+                    LivermoreSuite::build_scaled(*format, *scale)
                 };
                 suite
                     .expect("livermore benchmark assembles")
@@ -112,13 +143,15 @@ impl WorkloadSpec {
                 body,
                 trips,
                 format,
-            } => pipe_workloads::synthetic::tight_loop(body, trips, format),
+            } => pipe_workloads::synthetic::tight_loop(*body, *trips, *format),
+            WorkloadSpec::Trace { path, .. } => crate::tracerun::trace_program(Path::new(path))
+                .expect("trace workload validated at construction"),
         }
     }
 
     /// Canonical key fragment naming this workload.
     pub fn key(&self) -> String {
-        match *self {
+        match self {
             WorkloadSpec::Livermore { format, scale } => {
                 format!("livermore:format={format},scale={scale}")
             }
@@ -127,13 +160,14 @@ impl WorkloadSpec {
                 trips,
                 format,
             } => format!("tight-loop:body={body},trips={trips},format={format}"),
+            WorkloadSpec::Trace { fnv, .. } => format!("trace:fnv={fnv:016x}"),
         }
     }
 }
 
 /// Canonical key fragment for a memory configuration: every field, in a
-/// fixed order.
-fn mem_key(mem: &MemConfig) -> String {
+/// fixed order. Also used as the `mem_key` of recorded trace headers.
+pub fn mem_key(mem: &MemConfig) -> String {
     let ext = match &mem.external_cache {
         Some(e) => format!(
             "size={},line={},penalty={}",
@@ -713,7 +747,17 @@ impl SweepRunner {
             if inject_panic {
                 panic!("injected panic (job {})", job.index);
             }
-            try_run_point(program, job.fetch, &spec.mem, job.cache_bytes)
+            match &spec.workload {
+                WorkloadSpec::Trace { path, .. } => crate::tracerun::replay_point(
+                    Path::new(path),
+                    program,
+                    job.fetch,
+                    &spec.mem,
+                    job.cache_bytes,
+                ),
+                _ => try_run_point(program, job.fetch, &spec.mem, job.cache_bytes)
+                    .map_err(|e| e.to_string()),
+            }
         }));
         let wall = t0.elapsed();
         let error = match result {
@@ -736,7 +780,7 @@ impl SweepRunner {
                     cached: false,
                 });
             }
-            Ok(Err(sim)) => JobError::Sim(sim.to_string()),
+            Ok(Err(sim)) => JobError::Sim(sim),
             Err(payload) => JobError::Panic(panic_message(payload.as_ref())),
         };
         eprintln!(

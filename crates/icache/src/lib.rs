@@ -71,6 +71,7 @@ pub mod engine;
 pub mod perfect;
 pub mod pipe_fetch;
 pub mod queue;
+pub mod replay;
 pub mod stats;
 pub mod tib;
 
@@ -83,5 +84,6 @@ pub use perfect::PerfectFetch;
 pub use pipe_fetch::{PipeFetch, PipeFetchConfig, PrefetchPolicy};
 pub use pipe_mem::ConfigError;
 pub use queue::ParcelQueue;
+pub use replay::{ReplayBranch, ReplayError, ReplayHarness, ReplayOp, ReplayStats, ReplayStep};
 pub use stats::FetchStats;
 pub use tib::{TibConfig, TibFetch};

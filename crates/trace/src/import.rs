@@ -1,0 +1,224 @@
+//! Importing plain-text address traces.
+//!
+//! An address trace is one fetch address per line (decimal or `0x` hex;
+//! `#` starts a comment). It carries no data-side traffic, stall counts,
+//! or delay-slot structure, so replay uses an approximate model: a
+//! synthetic all-`nop` program spans the trace's address range, and
+//! every non-sequential step is modelled as a taken branch with zero
+//! remaining delay slots, resolving one cycle after the preceding
+//! instruction issues. This measures pure instruction-supply behaviour —
+//! see `docs/MODEL.md` for the model's scope.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pipe_icache::{ReplayBranch, ReplayStep};
+use pipe_isa::{encode, InstrFormat, Instruction, Program};
+
+/// Instruction granule of the synthetic replay model (fixed-32 `nop`s).
+pub const SYNTH_INSTR_BYTES: u32 = 4;
+
+/// Largest address span a synthetic program may cover (1 MiB), guarding
+/// against a stray address exploding the program image.
+pub const MAX_SYNTH_SPAN_BYTES: u32 = 1 << 20;
+
+/// A rejected address-trace import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// A line failed to parse as an address.
+    BadLine {
+        /// One-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An address is not aligned to [`SYNTH_INSTR_BYTES`].
+    Misaligned {
+        /// One-based line number.
+        line: usize,
+        /// The offending address.
+        addr: u32,
+    },
+    /// The trace contains no addresses.
+    Empty,
+    /// The address range exceeds [`MAX_SYNTH_SPAN_BYTES`].
+    SpanTooLarge {
+        /// The span the trace would require.
+        span: u64,
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::BadLine { line, text } => {
+                write!(f, "address trace line {line}: cannot parse `{text}`")
+            }
+            ImportError::Misaligned { line, addr } => write!(
+                f,
+                "address trace line {line}: {addr:#x} is not {SYNTH_INSTR_BYTES}-byte aligned"
+            ),
+            ImportError::Empty => write!(f, "address trace contains no addresses"),
+            ImportError::SpanTooLarge { span } => write!(
+                f,
+                "address trace spans {span} bytes (limit {MAX_SYNTH_SPAN_BYTES})"
+            ),
+        }
+    }
+}
+
+impl Error for ImportError {}
+
+/// Parses a plain-text address trace: one address per line, decimal or
+/// `0x`-prefixed hex, with `#` comments and blank lines ignored.
+///
+/// # Errors
+///
+/// [`ImportError::BadLine`] / [`ImportError::Misaligned`] with the
+/// offending line number; [`ImportError::Empty`] for a trace with no
+/// addresses.
+pub fn parse_address_trace(text: &str) -> Result<Vec<u32>, ImportError> {
+    let mut addrs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let entry = raw.split('#').next().unwrap_or("").trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let parsed = match entry
+            .strip_prefix("0x")
+            .or_else(|| entry.strip_prefix("0X"))
+        {
+            Some(hex) => u32::from_str_radix(hex, 16),
+            None => entry.parse::<u32>(),
+        };
+        let addr = parsed.map_err(|_| ImportError::BadLine {
+            line,
+            text: entry.to_owned(),
+        })?;
+        if addr % SYNTH_INSTR_BYTES != 0 {
+            return Err(ImportError::Misaligned { line, addr });
+        }
+        addrs.push(addr);
+    }
+    if addrs.is_empty() {
+        return Err(ImportError::Empty);
+    }
+    Ok(addrs)
+}
+
+/// Builds the synthetic all-`nop` program backing an address trace: a
+/// fixed-32 image spanning the trace's address range, with entry at the
+/// first address.
+///
+/// # Errors
+///
+/// [`ImportError::Empty`] and [`ImportError::SpanTooLarge`].
+pub fn synthesize_program(addrs: &[u32]) -> Result<Program, ImportError> {
+    let first = *addrs.first().ok_or(ImportError::Empty)?;
+    let min = addrs.iter().copied().min().expect("non-empty");
+    let max = addrs.iter().copied().max().expect("non-empty");
+    let span = u64::from(max - min) + u64::from(SYNTH_INSTR_BYTES);
+    if span > u64::from(MAX_SYNTH_SPAN_BYTES) {
+        return Err(ImportError::SpanTooLarge { span });
+    }
+    let nop = encode::encode(&Instruction::Nop, InstrFormat::Fixed32);
+    let nop_parcels = nop.parcels();
+    let count = (span as u32 / SYNTH_INSTR_BYTES) as usize;
+    let mut parcels = Vec::with_capacity(count * nop_parcels.len());
+    for _ in 0..count {
+        parcels.extend_from_slice(nop_parcels);
+    }
+    Ok(Program::from_raw(
+        parcels,
+        min,
+        first,
+        InstrFormat::Fixed32,
+        HashMap::new(),
+        Vec::new(),
+    ))
+}
+
+/// Converts an address sequence into a replay schedule: sequential flow
+/// issues back to back; every discontinuity becomes a taken branch with
+/// zero remaining delay slots, resolving one cycle after the preceding
+/// instruction issues.
+pub fn schedule_from_addresses(addrs: &[u32]) -> Vec<ReplayStep> {
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &addr)| {
+            let mut step = ReplayStep::at(addr);
+            if let Some(&next) = addrs.get(i + 1) {
+                if next != addr.wrapping_add(SYNTH_INSTR_BYTES) {
+                    step.resolve = Some(ReplayBranch {
+                        taken: true,
+                        remaining: 0,
+                        target: next,
+                    });
+                }
+            }
+            step
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_hex_decimal_comments() {
+        let text = "# a comment\n0x40\n68  # inline\n\n0X48\n";
+        assert_eq!(parse_address_trace(text).unwrap(), vec![0x40, 68, 0x48]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_number() {
+        let err = parse_address_trace("0x40\nbogus\n").unwrap_err();
+        assert_eq!(
+            err,
+            ImportError::BadLine {
+                line: 2,
+                text: "bogus".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_misaligned() {
+        let err = parse_address_trace("0x42\n").unwrap_err();
+        assert!(matches!(err, ImportError::Misaligned { line: 1, .. }));
+    }
+
+    #[test]
+    fn synthesized_program_covers_range() {
+        let p = synthesize_program(&[0x100, 0x104, 0x80, 0x180]).unwrap();
+        assert_eq!(p.base(), 0x80);
+        assert_eq!(p.entry(), 0x100);
+        assert!(p.parcel_at(0x180).is_some());
+        assert!(p.parcel_at(0x182).is_some());
+    }
+
+    #[test]
+    fn huge_span_rejected() {
+        let err = synthesize_program(&[0, 0x7FFF_FFFC]).unwrap_err();
+        assert!(matches!(err, ImportError::SpanTooLarge { .. }));
+    }
+
+    #[test]
+    fn discontinuities_become_taken_branches() {
+        let steps = schedule_from_addresses(&[0x40, 0x44, 0x100, 0x104]);
+        assert!(steps[0].resolve.is_none());
+        assert_eq!(
+            steps[1].resolve,
+            Some(ReplayBranch {
+                taken: true,
+                remaining: 0,
+                target: 0x100
+            })
+        );
+        assert!(steps[2].resolve.is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! Trace records are dominated by small deltas (sequential code advances
+//! by one instruction; data streams advance by one stride), so varint +
+//! zigzag encoding shrinks the common record to two or three bytes.
+
+/// Appends `v` to `buf` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `buf` at `*pos`, advancing it.
+/// Returns `None` on truncation or a value wider than 64 bits.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return None;
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value onto an unsigned one with small magnitudes staying
+/// small: 0, -1, 1, -2, ... → 0, 1, 2, 3, ...
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unsigned() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_signed() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1 << 20,
+            -(1 << 20),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn small_deltas_are_one_byte() {
+        for v in -63i64..=63 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, zigzag(v));
+            assert_eq!(buf.len(), 1, "delta {v}");
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn overlong_input_is_none() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Streaming trace writer.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use pipe_icache::ReplayStep;
+
+use crate::crc32::crc32;
+use crate::format::{
+    encode_meta, encode_summary, Codec, TraceMeta, TraceSummary, BLOCK_TARGET_BYTES,
+    FORMAT_VERSION, MAGIC, MARKER_BLOCK, MARKER_END, MARKER_HEADER,
+};
+use crate::varint;
+
+pub(crate) fn write_block<W: Write>(out: &mut W, marker: u8, payload: &[u8]) -> io::Result<()> {
+    out.write_all(&[marker])?;
+    let mut len = Vec::with_capacity(5);
+    varint::write_u64(&mut len, payload.len() as u64);
+    out.write_all(&len)?;
+    out.write_all(&crc32(payload).to_le_bytes())?;
+    out.write_all(payload)
+}
+
+/// Writes a `.ptr` trace incrementally: steps are delta-encoded into a
+/// block buffer that is flushed (with its CRC-32) every
+/// [`BLOCK_TARGET_BYTES`], so memory use is constant regardless of trace
+/// length.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    codec: Codec,
+    block: Vec<u8>,
+    steps: u64,
+    wait_cycles: u64,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates `path` and writes the header for `meta`.
+    ///
+    /// # Errors
+    ///
+    /// Any file-creation or write failure.
+    pub fn create(path: &Path, meta: &TraceMeta) -> io::Result<TraceWriter<BufWriter<File>>> {
+        TraceWriter::new(BufWriter::new(File::create(path)?), meta)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the magic, version, and header block for `meta`.
+    ///
+    /// # Errors
+    ///
+    /// Any write failure on `out`.
+    pub fn new(mut out: W, meta: &TraceMeta) -> io::Result<TraceWriter<W>> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        write_block(&mut out, MARKER_HEADER, &encode_meta(meta))?;
+        Ok(TraceWriter {
+            out,
+            codec: Codec::default(),
+            block: Vec::with_capacity(BLOCK_TARGET_BYTES + 64),
+            steps: 0,
+            wait_cycles: 0,
+        })
+    }
+
+    /// Appends one instruction step.
+    ///
+    /// # Errors
+    ///
+    /// Any write failure while flushing a full block.
+    pub fn write_step(&mut self, step: &ReplayStep) -> io::Result<()> {
+        self.codec.encode_step(&mut self.block, step);
+        self.steps += 1;
+        self.wait_cycles += u64::from(step.waits);
+        if self.block.len() >= BLOCK_TARGET_BYTES {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if !self.block.is_empty() {
+            write_block(&mut self.out, MARKER_BLOCK, &self.block)?;
+            self.block.clear();
+        }
+        Ok(())
+    }
+
+    /// Steps written so far.
+    pub fn steps_written(&self) -> u64 {
+        self.steps
+    }
+
+    /// Flushes the final block, writes the end summary, and returns the
+    /// underlying writer plus the summary. `cycles` and `ifetch_stalls`
+    /// come from the recorded run's statistics (the writer cannot see
+    /// the post-halt drain).
+    ///
+    /// # Errors
+    ///
+    /// Any write or flush failure.
+    pub fn finish(mut self, cycles: u64, ifetch_stalls: u64) -> io::Result<(W, TraceSummary)> {
+        self.flush_block()?;
+        let summary = TraceSummary {
+            instructions: self.steps,
+            cycles,
+            ifetch_stalls,
+            wait_cycles: self.wait_cycles,
+        };
+        write_block(&mut self.out, MARKER_END, &encode_summary(&summary))?;
+        self.out.flush()?;
+        Ok((self.out, summary))
+    }
+}

@@ -27,12 +27,15 @@
 //!
 //! Synthetic workloads ([`synthetic`]) cover unit tests, examples and
 //! micro-benchmarks: straight-line code, tight loops, branch-heavy code and
-//! load/store stress.
+//! load/store stress. [`traces`] generates synthetic instruction-address
+//! *traces* (loop nests, call-heavy code, random branching) as stimulus
+//! for `pipe-trace`'s trace-driven replay.
 
 pub mod calibrate;
 pub mod codegen;
 pub mod livermore;
 pub mod synthetic;
+pub mod traces;
 
 pub use calibrate::calibrate_trips;
 pub use codegen::{FpKind, Kernel, KernelOp, Src};

@@ -13,6 +13,8 @@
 //! * [`core`] — the cycle-level PIPE processor simulator.
 //! * [`workloads`] — the 14 Lawrence Livermore kernels and synthetic
 //!   workloads.
+//! * [`trace`] — record runs as compact binary traces and replay them
+//!   through any fetch engine.
 //! * [`experiments`] — the harness that regenerates every table and figure
 //!   of the paper.
 //!
@@ -35,6 +37,7 @@ pub use pipe_experiments as experiments;
 pub use pipe_icache as icache;
 pub use pipe_isa as isa;
 pub use pipe_mem as mem;
+pub use pipe_trace as trace;
 pub use pipe_workloads as workloads;
 
 /// Convenient single-import surface for examples and tests.

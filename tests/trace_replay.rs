@@ -1,0 +1,174 @@
+//! Acceptance tests for the trace record & replay subsystem
+//! (`pipe-trace`): recording a run must capture the instruction stream
+//! exactly, replaying it under the recorded configuration must reproduce
+//! the fetch-side results bit for bit, and damaged or mismatched traces
+//! must fail with typed errors rather than panics.
+
+use std::cell::RefCell;
+use std::io::Cursor;
+use std::rc::Rc;
+
+use pipe_core::{Processor, SimConfig, SimStats};
+use pipe_icache::{EngineBuilder, FetchKind, ReplayHarness};
+use pipe_isa::{InstrFormat, Program};
+use pipe_trace::{
+    parse_address_trace, program_fnv, replay_trace, schedule_from_addresses, synthesize_program,
+    ReplayTraceError, TraceError, TraceMeta, TraceReader, TraceRecorder, TraceSummary,
+};
+
+/// Records `program` running under `config` into an in-memory trace.
+fn record(program: &Program, config: &SimConfig) -> (Vec<u8>, SimStats, TraceSummary) {
+    let meta = TraceMeta {
+        workload: "test:acceptance".into(),
+        program_fnv: program_fnv(program),
+        entry_pc: program.entry(),
+        fetch_key: config.fetch.cache_key(),
+        mem_key: pipe_experiments::mem_key(&config.mem),
+    };
+    let recorder = Rc::new(RefCell::new(
+        TraceRecorder::new(Vec::new(), &meta).expect("trace header writes"),
+    ));
+    let mut proc = Processor::new(program, config).expect("processor builds");
+    proc.set_trace(Box::new(Rc::clone(&recorder)));
+    let stats = proc.run().expect("program runs to halt");
+    let (bytes, summary) = recorder
+        .borrow_mut()
+        .finish(stats.cycles)
+        .expect("trace finishes");
+    (bytes, stats, summary)
+}
+
+fn scaled_livermore(scale: u32) -> Program {
+    pipe_experiments::WorkloadSpec::Livermore {
+        format: InstrFormat::Fixed32,
+        scale,
+    }
+    .build()
+}
+
+/// The headline guarantee: recording the full 150,575-instruction
+/// Livermore benchmark and replaying the trace under the recorded
+/// configuration reproduces the fetch-stall cycle count — and every other
+/// fetch-side statistic — bit-identically.
+#[test]
+fn full_livermore_record_replay_is_bit_identical() {
+    let suite = pipe_workloads::livermore_benchmark();
+    let program = suite.program().clone();
+    let config = SimConfig::default();
+
+    let (bytes, stats, summary) = record(&program, &config);
+    assert_eq!(summary.instructions, stats.instructions_issued);
+    assert_eq!(summary.cycles, stats.cycles);
+
+    let reader = TraceReader::new(Cursor::new(bytes)).expect("trace decodes");
+    let outcome =
+        replay_trace(reader, &program, &config.fetch, &config.mem).expect("trace replays");
+    assert!(outcome.matches_recording());
+    assert_eq!(outcome.stats.cycles, stats.cycles);
+    assert_eq!(outcome.stats.instructions, stats.instructions_issued);
+    assert_eq!(outcome.stats.ifetch_stalls, stats.stalls.ifetch);
+    assert_eq!(outcome.stats.fetch, stats.fetch);
+}
+
+/// One recording replays through arbitrary fetch engines: all deliver the
+/// same instruction stream, and perfect fetch lower-bounds the cycle
+/// counts.
+#[test]
+fn one_recording_replays_through_other_engines() {
+    let program = scaled_livermore(20);
+    let config = SimConfig::default();
+    let (bytes, stats, _) = record(&program, &config);
+
+    let engines = [
+        EngineBuilder::new(FetchKind::Perfect).config().unwrap(),
+        EngineBuilder::new(FetchKind::Conventional)
+            .cache_bytes(64)
+            .line_bytes(16)
+            .config()
+            .unwrap(),
+        EngineBuilder::new(FetchKind::Pipe)
+            .cache_bytes(128)
+            .line_bytes(16)
+            .config()
+            .unwrap(),
+    ];
+    let mut cycles = Vec::new();
+    for fetch in engines {
+        let reader = TraceReader::new(Cursor::new(bytes.clone())).expect("trace decodes");
+        let outcome = replay_trace(reader, &program, &fetch, &config.mem).expect("trace replays");
+        assert_eq!(outcome.stats.instructions, stats.instructions_issued);
+        cycles.push(outcome.stats.cycles);
+    }
+    let perfect = cycles[0];
+    assert!(cycles.iter().all(|&c| c >= perfect));
+}
+
+/// A flipped byte inside a payload block is rejected with the typed
+/// `CorruptBlock` error — never a panic, never silently wrong data.
+#[test]
+fn corrupted_trace_block_is_a_typed_error() {
+    let program = scaled_livermore(50);
+    let config = SimConfig::default();
+    let (mut bytes, _, _) = record(&program, &config);
+
+    // Flip a byte well past the header, inside step-block payload.
+    let target = bytes.len() / 2;
+    bytes[target] ^= 0xff;
+
+    let result = match TraceReader::new(Cursor::new(bytes)) {
+        Ok(reader) => replay_trace(reader, &program, &config.fetch, &config.mem).map(|_| ()),
+        // A flip landing in a block header can surface at open time.
+        Err(e) => Err(ReplayTraceError::Trace(e)),
+    };
+    match result {
+        Err(ReplayTraceError::Trace(
+            TraceError::CorruptBlock { .. } | TraceError::Malformed(_) | TraceError::Truncated,
+        )) => {}
+        other => panic!("expected a typed trace error, got {other:?}"),
+    }
+}
+
+/// Replaying against the wrong program is caught by the header's program
+/// fingerprint before any cycles are simulated.
+#[test]
+fn wrong_program_is_a_typed_mismatch() {
+    let program = scaled_livermore(50);
+    let config = SimConfig::default();
+    let (bytes, _, _) = record(&program, &config);
+
+    let other = pipe_workloads::synthetic::tight_loop(6, 30, InstrFormat::Fixed32);
+    let reader = TraceReader::new(Cursor::new(bytes)).expect("trace decodes");
+    match replay_trace(reader, &other, &config.fetch, &config.mem) {
+        Err(ReplayTraceError::ProgramMismatch { expected, got }) => {
+            assert_eq!(expected, program_fnv(&program));
+            assert_eq!(got, program_fnv(&other));
+        }
+        other => panic!("expected ProgramMismatch, got {other:?}"),
+    }
+}
+
+/// Plain-text address traces (the `pipe_workloads::traces` generators)
+/// drive a fetch engine through the import pipeline: every listed address
+/// becomes exactly one replayed instruction.
+#[test]
+fn address_trace_replays_through_a_fetch_engine() {
+    let addrs = pipe_workloads::traces::loop_nest(0, 3, 4, 3);
+    let text: String = addrs.iter().map(|a| format!("{a:#x}\n")).collect();
+
+    let parsed = parse_address_trace(&text).expect("addresses parse");
+    assert_eq!(parsed, addrs);
+    let program = synthesize_program(&parsed).expect("program synthesizes");
+    let steps = schedule_from_addresses(&parsed);
+
+    let fetch = EngineBuilder::new(FetchKind::Conventional)
+        .cache_bytes(64)
+        .line_bytes(16)
+        .config()
+        .unwrap();
+    let engine = fetch.build(&program).expect("engine builds");
+    let mem = pipe_mem::MemConfig::default();
+    let mut harness = ReplayHarness::new(engine, pipe_mem::MemorySystem::new(mem));
+    harness.run(steps).expect("replay completes");
+    assert_eq!(harness.stats().instructions, addrs.len() as u64);
+    assert!(harness.stats().cycles >= addrs.len() as u64);
+}
