@@ -16,6 +16,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("replay") => return replay_main(&args[1..]),
         Some("store") => return store_main(&args[1..]),
+        Some("bench") => return bench_main(&args[1..]),
         _ => {}
     }
 
@@ -137,6 +138,30 @@ fn main() -> ExitCode {
                  in-flight loads {inflight}, pending FPU {fpu}"
             );
             eprintln!("{}", proc.stats());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", pipe_cli::BENCH_USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let opts = match pipe_cli::parse_bench_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pipe-sim bench: {e}\n\n{}", pipe_cli::BENCH_USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match pipe_cli::run_bench(&opts) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pipe-sim bench: {e}");
             ExitCode::FAILURE
         }
     }

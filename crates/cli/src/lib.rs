@@ -16,6 +16,10 @@ use pipe_icache::{ConvPrefetch, EngineBuilder, FetchKind};
 use pipe_isa::InstrFormat;
 use pipe_mem::{MemConfig, PriorityPolicy};
 
+mod bench;
+
+pub use bench::{parse_bench_args, run_bench, BenchOptions, BENCH_USAGE};
+
 /// Options for `pipe-sim`, parsed from the command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOptions {

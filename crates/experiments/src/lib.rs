@@ -35,8 +35,8 @@ pub mod tracerun;
 
 pub use events::RunLog;
 pub use figures::{
-    ablation, figure, figure_with, try_figure_with, try_figure_with_workload, Figure, FigureRun,
-    Series, ALL_ABLATIONS, ALL_FIGURES,
+    ablation, figure, figure_mem, figure_with, try_figure_with, try_figure_with_workload, Figure,
+    FigureRun, Series, ALL_ABLATIONS, ALL_FIGURES,
 };
 pub use matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
 pub use profile::{per_loop_profile, render_profile, render_profile_csv, LoopProfile, LoopShare};
