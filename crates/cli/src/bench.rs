@@ -21,12 +21,13 @@
 //! best-of-N repetitions, hand-rolled JSON.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pipe_core::{run_program, SimConfig, SimStats};
+use pipe_core::{run_decoded, SimConfig, SimStats};
 use pipe_experiments::{figure_mem, mem_key, StrategyKind};
 use pipe_icache::PrefetchPolicy;
-use pipe_isa::{InstrFormat, Program};
+use pipe_isa::{DecodedProgram, InstrFormat, Program};
 use pipe_mem::MemConfig;
 
 /// The usage string for `pipe-sim bench`.
@@ -132,14 +133,14 @@ const BENCH_STRATEGIES: [StrategyKind; 3] = [
 ];
 
 fn run_point(
-    program: &Program,
+    program: &Arc<DecodedProgram>,
     fetch: pipe_core::FetchStrategy,
     mem: &MemConfig,
     reps: u32,
 ) -> Result<(SimStats, Duration), String> {
     let cfg = SimConfig {
         fetch,
-        mem: mem.clone(),
+        mem: *mem,
         max_cycles: 2_000_000_000,
         ..SimConfig::default()
     };
@@ -147,7 +148,7 @@ fn run_point(
     let mut reference: Option<SimStats> = None;
     for rep in 0..reps.max(1) {
         let t0 = Instant::now();
-        let stats = run_program(program, &cfg).map_err(|e| e.to_string())?;
+        let stats = run_decoded(program, &cfg).map_err(|e| e.to_string())?;
         let wall = t0.elapsed();
         best = best.min(wall);
         match &reference {
@@ -168,7 +169,7 @@ fn run_point(
 
 fn livermore_points(quick: bool, reps: u32) -> Result<Vec<BenchPoint>, String> {
     let suite = pipe_workloads::livermore_benchmark();
-    let program = suite.program();
+    let program = Arc::new(DecodedProgram::new(suite.program().clone()));
     let (mem, _) = figure_mem("4a");
     let sizes: &[u32] = if quick {
         &[64]
@@ -181,7 +182,7 @@ fn livermore_points(quick: bool, reps: u32) -> Result<Vec<BenchPoint>, String> {
             let Some(fetch) = kind.fetch_for(size, PrefetchPolicy::TruePrefetch) else {
                 continue;
             };
-            let (stats, wall) = run_point(program, fetch, &mem, reps)
+            let (stats, wall) = run_point(&program, fetch, &mem, reps)
                 .map_err(|e| format!("{} @ {size}B: {e}", kind.label()))?;
             points.push(BenchPoint {
                 engine: kind.label(),
@@ -221,11 +222,12 @@ fn synthetic_points(quick: bool, reps: u32) -> Result<Vec<BenchPoint>, String> {
     let mem = MemConfig::default();
     let mut points = Vec::new();
     for (name, program) in &kernels {
+        let program = Arc::new(DecodedProgram::new(program.clone()));
         for kind in BENCH_STRATEGIES {
             let Some(fetch) = kind.fetch_for(128, PrefetchPolicy::TruePrefetch) else {
                 continue;
             };
-            let (stats, wall) = run_point(program, fetch, &mem, reps)
+            let (stats, wall) = run_point(&program, fetch, &mem, reps)
                 .map_err(|e| format!("{name}/{}: {e}", kind.label()))?;
             points.push(BenchPoint {
                 engine: kind.label(),
@@ -402,11 +404,19 @@ fn render_file(
         s.push_str(e);
     }
     s.push(']');
+    // Aggregate throughput from the per-entry sums: `sum_cycles` and
+    // `sum_wall_ms` appear exactly once per entry, whereas
+    // `cycles_per_sec` also names a per-point field.
+    let entry_cps = |e: &str| -> Option<f64> {
+        let cycles = extract_num(e, "sum_cycles")?;
+        let wall_ms = extract_num(e, "sum_wall_ms")?;
+        (wall_ms > 0.0).then(|| cycles / (wall_ms / 1e3))
+    };
     let baseline_cps = entries
         .iter()
         .find(|e| extract_str(e, "label") == Some("baseline"))
-        .and_then(|e| extract_num(e, "cycles_per_sec"));
-    let new_cps = extract_num(new_entry, "cycles_per_sec");
+        .and_then(|e| entry_cps(e));
+    let new_cps = entry_cps(new_entry);
     if let (Some(base), Some(new)) = (baseline_cps, new_cps) {
         if new_label != "baseline" && base > 0.0 {
             let _ = write!(
@@ -445,7 +455,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
         if want("full_livermore") {
             b.push((
                 "full_livermore",
-                mem_4a.clone(),
+                mem_4a,
                 livermore_points(opts.quick, reps)?,
             ));
         }

@@ -4,9 +4,11 @@ use std::cell::RefCell;
 use std::process::ExitCode;
 use std::rc::Rc;
 
-use pipe_cli::{parse_sim_args, REPLAY_USAGE, SIM_USAGE, STORE_USAGE};
-use pipe_core::{MultiSink, Processor, TextTrace};
+use pipe_cli::{parse_sim_args, SimOptions, REPLAY_USAGE, SIM_USAGE, STORE_USAGE};
+use pipe_core::{MultiSink, Processor, TextTrace, TraceSink};
 use pipe_trace::{TraceMeta, TraceRecorder};
+
+type FileRecorder = Rc<RefCell<TraceRecorder<std::io::BufWriter<std::fs::File>>>>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,7 +73,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let mut proc = match Processor::new(&program, &opts.config) {
+    let proc = match Processor::new(&program, &opts.config) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("pipe-sim: {e}");
@@ -98,21 +100,34 @@ fn main() -> ExitCode {
         }
         None => None,
     };
-    match (&recorder, opts.trace) {
+    // With no sink requested, run the monomorphized no-trace processor;
+    // otherwise switch to a boxed sink chosen at runtime.
+    let sink: Option<Box<dyn TraceSink>> = match (&recorder, opts.trace) {
         (Some(rec), true) => {
             let mut sink = MultiSink::new();
             sink.push(Box::new(Rc::clone(rec)));
             sink.push(Box::new(TextTrace::new(std::io::stderr())));
-            proc.set_trace(Box::new(sink));
+            Some(Box::new(sink))
         }
-        (Some(rec), false) => proc.set_trace(Box::new(Rc::clone(rec))),
-        (None, true) => proc.set_trace(Box::new(TextTrace::new(std::io::stderr()))),
-        (None, false) => {}
+        (Some(rec), false) => Some(Box::new(Rc::clone(rec))),
+        (None, true) => Some(Box::new(TextTrace::new(std::io::stderr()))),
+        (None, false) => None,
+    };
+    match sink {
+        Some(sink) => run_and_report(proc.with_trace(sink), &recorder, &opts),
+        None => run_and_report(proc, &recorder, &opts),
     }
+}
 
+fn run_and_report<S: TraceSink>(
+    mut proc: Processor<S>,
+    recorder: &Option<FileRecorder>,
+    opts: &SimOptions,
+) -> ExitCode {
     match proc.run() {
-        Ok(stats) => {
-            if let (Some(rec), Some(path)) = (&recorder, &opts.record_trace) {
+        Ok(()) => {
+            let stats = proc.stats();
+            if let (Some(rec), Some(path)) = (recorder, &opts.record_trace) {
                 match rec.borrow_mut().finish(stats.cycles) {
                     Ok((_, summary)) => {
                         println!("recorded {} instructions to {path}", summary.instructions);
@@ -124,7 +139,7 @@ fn main() -> ExitCode {
                 }
             }
             if opts.json {
-                println!("{}", pipe_cli::stats_json(&stats));
+                println!("{}", pipe_cli::stats_json(stats));
             } else {
                 println!("{stats}");
             }

@@ -575,7 +575,7 @@ pub fn run_replay(opts: &ReplayOptions) -> Result<String, String> {
             .build(&program)
             .map_err(|e| format!("invalid replay configuration: {e}"))?;
         let mut harness =
-            pipe_icache::ReplayHarness::new(engine, pipe_mem::MemorySystem::new(opts.mem.clone()));
+            pipe_icache::ReplayHarness::new(engine, pipe_mem::MemorySystem::new(opts.mem));
         harness.run(steps).map_err(|e| format!("{display}: {e}"))?;
         if !opts.json {
             out.push_str(&format!(

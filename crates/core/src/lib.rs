@@ -46,11 +46,11 @@ pub mod trace;
 
 pub use config::{FetchStrategy, SimConfig};
 pub use interp::{interpret, InterpError, InterpResult, Interpreter};
-pub use processor::{run_program, Processor, SimError};
+pub use processor::{run_decoded, run_program, Processor, SimError};
 pub use queues::{AddressQueue, LoadQueue};
 pub use regfile::{BranchRegFile, RegFile};
 pub use stats::{SimStats, StallBreakdown};
 pub use trace::{
-    DataOp, MultiSink, Region, RegionProfiler, StallReason, TextTrace, TraceEvent, TraceSink,
-    VecTrace,
+    DataOp, MultiSink, NoTrace, Region, RegionProfiler, StallReason, TextTrace, TraceEvent,
+    TraceSink, VecTrace,
 };

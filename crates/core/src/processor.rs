@@ -23,17 +23,18 @@
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use pipe_icache::FetchEngine;
 use pipe_isa::decode::DecodeError;
-use pipe_isa::{decode, Instruction, Program, Reg};
+use pipe_isa::{decode, DecodedProgram, Instruction, Program, Reg};
 use pipe_mem::{BeatSource, ConfigError, FpOp, MemRequest, MemorySystem, ReqClass};
 
 use crate::config::SimConfig;
 use crate::queues::{AddressQueue, LoadQueue};
 use crate::regfile::{BranchRegFile, RegFile};
 use crate::stats::SimStats;
-use crate::trace::{DataOp, StallReason, TraceEvent, TraceSink};
+use crate::trace::{DataOp, NoTrace, StallReason, TraceEvent, TraceSink};
 
 /// An error terminating a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,18 +88,33 @@ struct PbrState {
 }
 
 /// The simulated PIPE processor.
-pub struct Processor {
-    config: SimConfig,
+///
+/// Generic over its trace sink: the default [`NoTrace`] monomorphizes the
+/// trace path to dead code, so untraced runs (the common case for
+/// sweeps) pay nothing for the plumbing. Attach a real sink with
+/// [`with_trace`](Processor::with_trace).
+pub struct Processor<S: TraceSink = NoTrace> {
     mem: MemorySystem,
     fetch: Box<dyn FetchEngine>,
+    /// Predecoded program image: the hot loop looks instructions up by
+    /// parcel index instead of calling `decode` every issue attempt.
+    decoded: Arc<DecodedProgram>,
+    /// Disables the predecoded fast path (parity testing; also set for
+    /// fetch engines not backed by the program image).
+    force_raw_decode: bool,
+    max_cycles: u64,
+    ldq_entries: usize,
+    sdq_entries: usize,
     regs: RegFile,
     bregs: BranchRegFile,
     laq: AddressQueue,
     saq: AddressQueue,
     sdq: VecDeque<u32>,
     ldq: LoadQueue,
-    /// Accepted data loads awaiting their response beat.
-    inflight_loads: VecDeque<(u64, u64)>,
+    /// Accepted data loads awaiting their response beat, as
+    /// `(memory tag, LDQ sequence)`. Completion order is tag-matched, so
+    /// a plain vector with `swap_remove` beats a FIFO here.
+    inflight_loads: Vec<(u64, u64)>,
     /// LDQ slots awaiting FPU results, in operation order.
     fpu_result_slots: VecDeque<u64>,
     laq_front_tag: Option<u64>,
@@ -114,10 +130,10 @@ pub struct Processor {
     halted: bool,
     cycle: u64,
     stats: SimStats,
-    trace: Option<Box<dyn TraceSink>>,
+    trace: S,
 }
 
-impl fmt::Debug for Processor {
+impl<S: TraceSink> fmt::Debug for Processor<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Processor")
             .field("cycle", &self.cycle)
@@ -130,27 +146,48 @@ impl fmt::Debug for Processor {
 
 impl Processor {
     /// Builds a processor for `program` under `config`, loading the
-    /// program's initial data image into memory.
+    /// program's initial data image into memory. Predecodes the program;
+    /// to share one predecode across many runs, use
+    /// [`from_decoded`](Processor::from_decoded).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Config`] if the configuration fails validation.
     pub fn new(program: &Program, config: &SimConfig) -> Result<Processor, SimError> {
+        Processor::from_decoded(&Arc::new(DecodedProgram::new(program.clone())), config)
+    }
+
+    /// Builds a processor over an already-predecoded program, sharing the
+    /// decode table instead of recomputing it (sweeps run one predecode
+    /// for hundreds of points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration fails validation.
+    pub fn from_decoded(
+        decoded: &Arc<DecodedProgram>,
+        config: &SimConfig,
+    ) -> Result<Processor, SimError> {
         config.validate()?;
-        let mut mem = MemorySystem::new(config.mem.clone());
+        let program = decoded.program();
+        let mut mem = MemorySystem::new(config.mem);
         mem.data_mut().extend(program.data().iter().copied());
         let fetch = config.fetch.build(program)?;
         Ok(Processor {
-            config: config.clone(),
             mem,
             fetch,
+            decoded: Arc::clone(decoded),
+            force_raw_decode: false,
+            max_cycles: config.max_cycles,
+            ldq_entries: config.ldq_entries,
+            sdq_entries: config.sdq_entries,
             regs: RegFile::new(),
             bregs: BranchRegFile::new(),
             laq: AddressQueue::new(config.laq_entries),
             saq: AddressQueue::new(config.saq_entries),
             sdq: VecDeque::with_capacity(config.sdq_entries),
             ldq: LoadQueue::new(config.ldq_entries),
-            inflight_loads: VecDeque::new(),
+            inflight_loads: Vec::with_capacity(config.ldq_entries),
             fpu_result_slots: VecDeque::new(),
             laq_front_tag: None,
             store_front_tag: None,
@@ -160,20 +197,57 @@ impl Processor {
             halted: false,
             cycle: 0,
             stats: SimStats::default(),
-            trace: None,
+            trace: NoTrace,
         })
     }
+}
 
-    /// Attaches a trace sink receiving every issue/stall/branch event. To
-    /// inspect the sink after the run, hand the processor an
-    /// `Rc<RefCell<...>>` clone (see [`crate::trace`]).
-    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
-        self.trace = Some(sink);
+impl<S: TraceSink> Processor<S> {
+    /// Attaches a trace sink receiving every issue/stall/branch event,
+    /// consuming the processor (the sink type becomes part of the
+    /// processor type, so traced and untraced runs monomorphize
+    /// separately). To inspect the sink after the run, hand the processor
+    /// an `Rc<RefCell<...>>` clone (see [`crate::trace`]).
+    pub fn with_trace<T: TraceSink>(self, sink: T) -> Processor<T> {
+        Processor {
+            mem: self.mem,
+            fetch: self.fetch,
+            decoded: self.decoded,
+            force_raw_decode: self.force_raw_decode,
+            max_cycles: self.max_cycles,
+            ldq_entries: self.ldq_entries,
+            sdq_entries: self.sdq_entries,
+            regs: self.regs,
+            bregs: self.bregs,
+            laq: self.laq,
+            saq: self.saq,
+            sdq: self.sdq,
+            ldq: self.ldq,
+            inflight_loads: self.inflight_loads,
+            fpu_result_slots: self.fpu_result_slots,
+            laq_front_tag: self.laq_front_tag,
+            store_front_tag: self.store_front_tag,
+            data_seq: self.data_seq,
+            pbr: self.pbr,
+            redirect_remaining: self.redirect_remaining,
+            halted: self.halted,
+            cycle: self.cycle,
+            stats: self.stats,
+            trace: sink,
+        }
+    }
+
+    /// Disables (or re-enables) the predecoded fast path, forcing every
+    /// issue attempt to decode raw parcels like the seed simulator.
+    /// Exists so parity tests and the benchmark harness can prove the two
+    /// paths produce bit-identical statistics.
+    pub fn set_force_raw_decode(&mut self, force: bool) {
+        self.force_raw_decode = force;
     }
 
     fn emit(&mut self, event: TraceEvent) {
-        if let Some(t) = &mut self.trace {
-            t.event(&event);
+        if self.trace.enabled() {
+            self.trace.event(&event);
         }
     }
 
@@ -224,16 +298,18 @@ impl Processor {
         ]
     }
 
-    /// Runs to completion.
+    /// Runs to completion, finalizing the statistics in place — read them
+    /// with [`stats`](Self::stats) or take them with
+    /// [`into_stats`](Self::into_stats) (no clone either way).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Decode`] on an undecodable instruction and
     /// [`SimError::Timeout`] if the program does not halt and drain within
     /// `config.max_cycles`.
-    pub fn run(&mut self) -> Result<SimStats, SimError> {
+    pub fn run(&mut self) -> Result<(), SimError> {
         while !self.is_done() {
-            if self.cycle >= self.config.max_cycles {
+            if self.cycle >= self.max_cycles {
                 return Err(SimError::Timeout { cycles: self.cycle });
             }
             self.step()?;
@@ -241,7 +317,13 @@ impl Processor {
         self.stats.cycles = self.cycle;
         self.stats.fetch = self.fetch.stats().clone();
         self.stats.mem = self.mem.stats().clone();
-        Ok(self.stats.clone())
+        Ok(())
+    }
+
+    /// Consumes the processor, returning the accumulated statistics by
+    /// move (finalized by [`run`](Self::run)).
+    pub fn into_stats(self) -> SimStats {
+        self.stats
     }
 
     /// Simulates one clock cycle.
@@ -278,10 +360,10 @@ impl Processor {
         let out = self.mem.tick();
 
         // 3. Routing.
-        for tag in out.accepted {
+        if let Some(tag) = out.accepted {
             if self.laq_front_tag == Some(tag) {
                 let entry = self.laq.pop().expect("laq front accepted");
-                self.inflight_loads.push_back((tag, entry.tag));
+                self.inflight_loads.push((tag, entry.tag));
                 self.laq_front_tag = None;
             } else if self.store_front_tag == Some(tag) {
                 self.saq.pop();
@@ -291,7 +373,7 @@ impl Processor {
                 self.fetch.on_accepted(tag);
             }
         }
-        for beat in &out.beats {
+        if let Some(beat) = &out.beats {
             match beat.source {
                 BeatSource::DataLoad => {
                     let pos = self
@@ -299,7 +381,7 @@ impl Processor {
                         .iter()
                         .position(|&(t, _)| t == beat.tag)
                         .expect("data beat for unknown load");
-                    let (_, seq) = self.inflight_loads.remove(pos).expect("position valid");
+                    let (_, seq) = self.inflight_loads.swap_remove(pos);
                     self.ldq
                         .fill(seq, beat.value.expect("data beats carry values"));
                 }
@@ -366,16 +448,36 @@ impl Processor {
         instr.destination() == Some(Reg::QUEUE)
     }
 
+    /// The decode result at the fetch head: a predecoded-table lookup
+    /// when the engine can name the image parcel index it is serving
+    /// (the hot path), otherwise a raw decode of the peeked parcels
+    /// (trace replay, or `force_raw_decode` parity runs). `None` means no
+    /// complete instruction is available this cycle.
+    fn peek_decoded(&self) -> Option<Result<Instruction, DecodeError>> {
+        if !self.force_raw_decode {
+            if let Some(idx) = self.fetch.peek_index() {
+                if let Some(slot) = self.decoded.get(idx) {
+                    return Some(slot);
+                }
+            }
+        }
+        let (first, second) = self.fetch.peek()?;
+        Some(decode(first, second))
+    }
+
     fn try_issue(&mut self) -> Result<(), SimError> {
-        let Some((first, second)) = self.fetch.peek() else {
-            self.stats.stalls.ifetch += 1;
-            self.emit(TraceEvent::Stall {
-                cycle: self.cycle,
-                reason: StallReason::IFetch,
-            });
-            return Ok(());
+        let instr = match self.peek_decoded() {
+            Some(Ok(instr)) => instr,
+            Some(Err(e)) => return Err(e.into()),
+            None => {
+                self.stats.stalls.ifetch += 1;
+                self.emit(TraceEvent::Stall {
+                    cycle: self.cycle,
+                    reason: StallReason::IFetch,
+                });
+                return Ok(());
+            }
         };
-        let instr = decode(first, second)?;
 
         // Branch gating: at most one PBR in flight, and no issue past the
         // delay slots of an unresolved PBR (wrong-path guard).
@@ -426,10 +528,10 @@ impl Processor {
             }
             _ => false,
         };
-        let queue_full = (needs_ldq_slot && ldq_after_pop >= self.config.ldq_entries)
+        let queue_full = (needs_ldq_slot && ldq_after_pop >= self.ldq_entries)
             || (matches!(instr, Instruction::Load { .. }) && self.laq.is_full())
             || (matches!(instr, Instruction::StoreAddr { .. }) && self.saq.is_full())
-            || (Self::writes_queue_reg(&instr) && self.sdq.len() >= self.config.sdq_entries);
+            || (Self::writes_queue_reg(&instr) && self.sdq.len() >= self.sdq_entries);
         if queue_full {
             self.stats.stalls.queue_full += 1;
             self.emit(TraceEvent::Stall {
@@ -443,7 +545,7 @@ impl Processor {
         if reads_q {
             self.ldq.pop();
         }
-        if self.trace.is_some() {
+        if self.trace.enabled() {
             self.emit(TraceEvent::Issue {
                 cycle: self.cycle,
                 addr: self.fetch.head_addr(),
@@ -581,7 +683,25 @@ impl Processor {
 ///
 /// Propagates any [`SimError`] from construction or execution.
 pub fn run_program(program: &Program, config: &SimConfig) -> Result<SimStats, SimError> {
-    Processor::new(program, config)?.run()
+    let mut proc = Processor::new(program, config)?;
+    proc.run()?;
+    Ok(proc.into_stats())
+}
+
+/// Builds a processor over a shared predecoded program and runs it to
+/// completion under `config`. The predecode is reused, not recomputed —
+/// the fast path for sweeps running one workload at many configurations.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from construction or execution.
+pub fn run_decoded(
+    decoded: &Arc<DecodedProgram>,
+    config: &SimConfig,
+) -> Result<SimStats, SimError> {
+    let mut proc = Processor::from_decoded(decoded, config)?;
+    proc.run()?;
+    Ok(proc.into_stats())
 }
 
 #[cfg(test)]
@@ -686,10 +806,10 @@ mod tests {
         "#;
         let p = asm(src);
         let mut proc = Processor::new(&p, &perfect_config()).unwrap();
-        let stats = proc.run().unwrap();
+        proc.run().unwrap();
         assert_eq!(proc.regs().read(Reg::new(4)), 6.0f32.to_bits());
-        assert_eq!(stats.fpu_ops, 1);
-        assert_eq!(stats.stores, 2);
+        assert_eq!(proc.stats().fpu_ops, 1);
+        assert_eq!(proc.stats().stores, 2);
     }
 
     #[test]
@@ -835,7 +955,7 @@ mod tests {
             &p,
             &SimConfig {
                 fetch: FetchStrategy::conventional(CacheConfig::new(32, 16)),
-                mem: slow.clone(),
+                mem: slow,
                 ..SimConfig::default()
             },
         )
@@ -909,9 +1029,9 @@ mod tests {
         "#;
         let p = asm(src);
         let mut proc = Processor::new(&p, &perfect_config()).unwrap();
-        let stats = proc.run().unwrap();
+        proc.run().unwrap();
         assert_eq!(proc.regs().read(Reg::new(2)), 0, "wrong-path skipped");
-        assert_eq!(stats.branches_taken, 1);
+        assert_eq!(proc.stats().branches_taken, 1);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Cycle-trace infrastructure: structured events from the processor.
 //!
 //! Attach a [`TraceSink`] to a [`Processor`](crate::Processor) with
-//! [`Processor::set_trace`](crate::Processor::set_trace) to observe every
-//! issue, stall, branch resolution and redirect as it happens. Sinks are
-//! plain trait objects; the crate ships three:
+//! [`Processor::with_trace`](crate::Processor::with_trace) to observe every
+//! issue, stall, branch resolution and redirect as it happens. The sink is
+//! a generic parameter of the processor, so the default [`NoTrace`] sink
+//! compiles to nothing in the cycle loop; boxed trait objects
+//! (`Box<dyn TraceSink>`) remain available when the sink is chosen at
+//! run time. The crate ships three concrete sinks:
 //!
 //! * [`VecTrace`] — collect events into memory for assertions;
 //! * [`TextTrace`] — render a human-readable line per event;
@@ -128,6 +131,41 @@ impl TraceEvent {
 pub trait TraceSink {
     /// Receives one event. Called in cycle order.
     fn event(&mut self, event: &TraceEvent);
+
+    /// Whether this sink consumes events at all. The processor is generic
+    /// over its sink and checks this before constructing an event, so a
+    /// sink returning `false` — notably [`NoTrace`], the default —
+    /// monomorphizes the entire trace path to dead code. A provided
+    /// method (not an associated const) so the trait stays object-safe.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The disabled trace sink: a zero-sized type whose `enabled()` is
+/// `false`, letting `Processor<NoTrace>` (the default) compile the trace
+/// plumbing out of the hot loop entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {
+    fn event(&mut self, _event: &TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Boxed sinks forward, so heterogeneous sinks chosen at runtime (e.g. by
+/// the CLI) can drive a `Processor<Box<dyn TraceSink>>`.
+impl TraceSink for Box<dyn TraceSink> {
+    fn event(&mut self, event: &TraceEvent) {
+        (**self).event(event);
+    }
+
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
 }
 
 /// Shared sinks: keep an `Rc<RefCell<VecTrace>>` clone and hand the other
@@ -135,6 +173,10 @@ pub trait TraceSink {
 impl<S: TraceSink> TraceSink for std::rc::Rc<std::cell::RefCell<S>> {
     fn event(&mut self, event: &TraceEvent) {
         self.borrow_mut().event(event);
+    }
+
+    fn enabled(&self) -> bool {
+        self.borrow().enabled()
     }
 }
 

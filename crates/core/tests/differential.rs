@@ -21,7 +21,8 @@ fn agree(program: &Program, fetches: &[FetchStrategy], access: u32) {
             ..SimConfig::default()
         };
         let mut proc = Processor::new(program, &cfg).expect("valid");
-        let stats = proc.run().unwrap_or_else(|e| panic!("{fetch}: {e}"));
+        proc.run().unwrap_or_else(|e| panic!("{fetch}: {e}"));
+        let stats = proc.stats();
         assert_eq!(
             stats.instructions_issued, reference.instructions,
             "instruction count under {fetch}"
@@ -205,7 +206,8 @@ fn differential_full_livermore_benchmark() {
         ..SimConfig::default()
     };
     let mut proc = Processor::new(suite.program(), &cfg).unwrap();
-    let stats = proc.run().unwrap();
+    proc.run().unwrap();
+    let stats = proc.stats();
     assert_eq!(stats.instructions_issued, reference.instructions);
     assert_eq!(stats.branches_taken, reference.branches_taken);
     assert_eq!(stats.fpu_ops, reference.fpu_ops);

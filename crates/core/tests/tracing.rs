@@ -26,11 +26,11 @@ fn traced_run(
         ..SimConfig::default()
     };
     let sink = Rc::new(RefCell::new(VecTrace::new()));
-    let mut proc = Processor::new(&program, &cfg).unwrap();
-    proc.set_trace(Box::new(Rc::clone(&sink)));
-    let stats = proc.run().unwrap();
+    let proc = Processor::new(&program, &cfg).unwrap();
+    let mut proc = proc.with_trace(Rc::clone(&sink));
+    proc.run().unwrap();
     let events = sink.borrow().events().to_vec();
-    (events, stats)
+    (events, proc.into_stats())
 }
 
 const LOOP_SRC: &str =
@@ -125,9 +125,10 @@ fn region_profiler_splits_loop_from_prologue() {
             end: program.end(),
         },
     ])));
-    let mut proc = Processor::new(&program, &cfg).unwrap();
-    proc.set_trace(Box::new(Rc::clone(&profiler)));
-    let stats = proc.run().unwrap();
+    let proc = Processor::new(&program, &cfg).unwrap();
+    let mut proc = proc.with_trace(Rc::clone(&profiler));
+    proc.run().unwrap();
+    let stats = proc.stats();
 
     let p = profiler.borrow();
     let results: Vec<_> = p

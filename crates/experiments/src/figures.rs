@@ -97,7 +97,7 @@ pub fn sweep(
         id: "sweep".to_string(),
         strategies: strategies.to_vec(),
         cache_sizes: sweep_sizes().to_vec(),
-        mem: mem.clone(),
+        mem: *mem,
         policy,
         workload: WorkloadSpec::Livermore {
             format: suite.program().format(),

@@ -76,13 +76,14 @@ pub fn per_loop_profile(
 
     let cfg = SimConfig {
         fetch,
-        mem: mem.clone(),
+        mem: *mem,
         max_cycles: 2_000_000_000,
         ..SimConfig::default()
     };
-    let mut proc = Processor::new(suite.program(), &cfg).expect("valid config");
-    proc.set_trace(Box::new(Rc::clone(&profiler)));
-    let stats = proc.run().expect("benchmark runs");
+    let proc = Processor::new(suite.program(), &cfg).expect("valid config");
+    let mut proc = proc.with_trace(Rc::clone(&profiler));
+    proc.run().expect("benchmark runs");
+    let stats = proc.stats();
 
     let p = profiler.borrow();
     let shares = suite

@@ -1,7 +1,9 @@
 //! Running a single experiment point.
 
-use pipe_core::{run_program, FetchStrategy, SimConfig, SimError, SimStats};
-use pipe_isa::Program;
+use std::sync::Arc;
+
+use pipe_core::{run_decoded, FetchStrategy, SimConfig, SimError, SimStats};
+use pipe_isa::{DecodedProgram, Program};
 use pipe_mem::MemConfig;
 
 /// One measured point of a sweep.
@@ -30,13 +32,32 @@ pub fn try_run_point(
     mem: &MemConfig,
     cache_bytes: u32,
 ) -> Result<ExperimentPoint, SimError> {
+    let decoded = Arc::new(DecodedProgram::new(program.clone()));
+    try_run_point_decoded(&decoded, fetch, mem, cache_bytes)
+}
+
+/// Like [`try_run_point`], but takes an already-predecoded program so
+/// callers measuring many points over the same workload (the sweep
+/// engine, the benchmark harness) decode each static instruction exactly
+/// once instead of once per point.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] the simulator reported (configuration,
+/// decode, or timeout).
+pub fn try_run_point_decoded(
+    decoded: &Arc<DecodedProgram>,
+    fetch: FetchStrategy,
+    mem: &MemConfig,
+    cache_bytes: u32,
+) -> Result<ExperimentPoint, SimError> {
     let cfg = SimConfig {
         fetch,
-        mem: mem.clone(),
+        mem: *mem,
         max_cycles: 2_000_000_000,
         ..SimConfig::default()
     };
-    let stats = run_program(program, &cfg)?;
+    let stats = run_decoded(decoded, &cfg)?;
     Ok(ExperimentPoint {
         cache_bytes,
         cycles: stats.cycles,

@@ -240,7 +240,7 @@ pub fn external_cache_study(
                 line_bytes: 64,
                 miss_penalty,
             }),
-            ..base.clone()
+            ..*base
         };
         rows.push(ExtCacheStudyRow {
             ext_cache_bytes: Some(size),

@@ -40,18 +40,19 @@ use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pipe_core::FetchStrategy;
 use pipe_icache::PrefetchPolicy;
-use pipe_isa::{InstrFormat, Program};
+use pipe_isa::{DecodedProgram, InstrFormat, Program};
 use pipe_mem::MemConfig;
 use pipe_workloads::LivermoreSuite;
 
 use crate::events::RunLog;
 use crate::figures::{figure_mem, Series};
 use crate::matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
-use crate::runner::{try_run_point, ExperimentPoint};
+use crate::runner::{try_run_point_decoded, ExperimentPoint};
 use crate::store::{ResultStore, StoredPoint};
 
 /// The benchmark a sweep runs. Declarative (rather than a prebuilt
@@ -536,7 +537,9 @@ impl SweepRunner {
         let started = Instant::now();
         let jobs = spec.expand();
         let total = jobs.len();
-        let program = spec.workload.build();
+        // Decode the workload once; every job (serial or threaded) shares
+        // the same predecoded image instead of re-decoding per point.
+        let program = Arc::new(DecodedProgram::new(spec.workload.build()));
 
         let log = self.open_log(spec);
         if let Some(log) = &log {
@@ -732,7 +735,7 @@ impl SweepRunner {
         &self,
         spec: &SweepSpec,
         job: &SweepJob,
-        program: &Program,
+        program: &Arc<DecodedProgram>,
         total: usize,
         worker: usize,
         run: &RunState<'_>,
@@ -750,12 +753,12 @@ impl SweepRunner {
             match &spec.workload {
                 WorkloadSpec::Trace { path, .. } => crate::tracerun::replay_point(
                     Path::new(path),
-                    program,
+                    program.program(),
                     job.fetch,
                     &spec.mem,
                     job.cache_bytes,
                 ),
-                _ => try_run_point(program, job.fetch, &spec.mem, job.cache_bytes)
+                _ => try_run_point_decoded(program, job.fetch, &spec.mem, job.cache_bytes)
                     .map_err(|e| e.to_string()),
             }
         }));

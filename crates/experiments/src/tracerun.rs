@@ -164,7 +164,7 @@ pub fn replay_point(
         let engine = fetch
             .build(program)
             .map_err(|e| format!("invalid replay configuration: {e}"))?;
-        let mut harness = ReplayHarness::new(engine, MemorySystem::new(mem.clone()));
+        let mut harness = ReplayHarness::new(engine, MemorySystem::new(*mem));
         harness.run(steps).map_err(|e| format!("{display}: {e}"))?;
         harness.stats()
     };
@@ -226,9 +226,10 @@ mod tests {
         let recorder = Rc::new(RefCell::new(
             TraceRecorder::create(&path, &meta).expect("creates trace"),
         ));
-        let mut proc = Processor::new(&program, &config).expect("builds");
-        proc.set_trace(Box::new(Rc::clone(&recorder)));
-        let stats = proc.run().expect("runs");
+        let proc = Processor::new(&program, &config).expect("builds");
+        let mut proc = proc.with_trace(Rc::clone(&recorder));
+        proc.run().expect("runs");
+        let stats = proc.stats();
         recorder
             .borrow_mut()
             .finish(stats.cycles)

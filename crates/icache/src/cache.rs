@@ -105,6 +105,13 @@ pub struct InstructionCache {
     lines: Vec<Line>,
     hits: u64,
     misses: u64,
+    // Geometry as shifts/masks. Every field of a validated `CacheConfig`
+    // is a power of two, and these probes sit on the simulator's
+    // per-cycle path — a hardware `div` per lookup is measurable there.
+    line_shift: u32,
+    index_mask: u32,
+    size_shift: u32,
+    sub_shift: u32,
 }
 
 impl InstructionCache {
@@ -122,6 +129,10 @@ impl InstructionCache {
             lines: vec![Line::default(); cfg.num_lines() as usize],
             hits: 0,
             misses: 0,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            index_mask: cfg.num_lines() - 1,
+            size_shift: cfg.size_bytes.trailing_zeros(),
+            sub_shift: cfg.subblock_bytes.trailing_zeros(),
         }
     }
 
@@ -139,8 +150,8 @@ impl InstructionCache {
             addr + bytes <= base + self.cfg.line_bytes,
             "range {addr:#x}+{bytes} crosses line boundary"
         );
-        let first = (addr - base) / self.cfg.subblock_bytes;
-        let last = (addr + bytes - 1 - base) / self.cfg.subblock_bytes;
+        let first = (addr - base) >> self.sub_shift;
+        let last = (addr + bytes - 1 - base) >> self.sub_shift;
         let count = last - first + 1;
         (((1u64 << count) - 1) << first) & Self::full_mask(self.cfg.subblocks_per_line())
     }
@@ -157,8 +168,8 @@ impl InstructionCache {
     /// `[addr, addr + bytes)` is present. The range may not cross a line
     /// boundary.
     pub fn contains(&self, addr: u32, bytes: u32) -> bool {
-        let line = &self.lines[self.cfg.line_index(addr) as usize];
-        if !line.tag_valid || line.tag != self.cfg.tag_of(addr) {
+        let line = &self.lines[((addr >> self.line_shift) & self.index_mask) as usize];
+        if !line.tag_valid || line.tag != addr >> self.size_shift {
             return false;
         }
         let mask = self.mask_for(addr, bytes);
@@ -191,8 +202,8 @@ impl InstructionCache {
     }
 
     fn fill_within_line(&mut self, addr: u32, bytes: u32) {
-        let tag = self.cfg.tag_of(addr);
-        let idx = self.cfg.line_index(addr) as usize;
+        let tag = addr >> self.size_shift;
+        let idx = ((addr >> self.line_shift) & self.index_mask) as usize;
         let mask = self.mask_for(addr, bytes);
         let line = &mut self.lines[idx];
         if !line.tag_valid || line.tag != tag {

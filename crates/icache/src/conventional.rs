@@ -429,6 +429,16 @@ impl FetchEngine for ConventionalFetch {
         Some(self.pc)
     }
 
+    fn peek_index(&self) -> Option<usize> {
+        // Gated exactly like `peek`: the instruction must be fully cached
+        // and every parcel inside the image.
+        let bytes = self.instr_bytes_at(self.pc)?;
+        if !self.instr_cached(self.pc, bytes) || self.pc + bytes > self.end {
+            return None;
+        }
+        Some(((self.pc - self.base) / PARCEL_BYTES) as usize)
+    }
+
     fn consume(&mut self) {
         let bytes = self
             .instr_bytes_at(self.pc)
@@ -493,10 +503,10 @@ mod tests {
     fn cycle(f: &mut ConventionalFetch, mem: &mut MemorySystem) -> bool {
         f.offer_requests(mem);
         let out = mem.tick();
-        for tag in out.accepted {
+        if let Some(tag) = out.accepted {
             f.on_accepted(tag);
         }
-        for beat in &out.beats {
+        if let Some(beat) = &out.beats {
             if matches!(beat.source, BeatSource::IFetch | BeatSource::IPrefetch) {
                 f.on_beat(beat);
             }

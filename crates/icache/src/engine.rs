@@ -57,6 +57,18 @@ pub trait FetchEngine {
         None
     }
 
+    /// Image parcel index of the instruction [`peek`](FetchEngine::peek)
+    /// would return: `Some(i)` means the parcels `peek` yields are
+    /// exactly `image[i]` (and `image[i + 1]` for the optional second
+    /// parcel), so a predecoded lookup at `i` is equivalent to decoding
+    /// them. Must return `None` whenever `peek` returns `None`, and may
+    /// return `None` for engines not backed by the program image (e.g.
+    /// trace replay) — callers then fall back to decoding `peek`'s raw
+    /// parcels.
+    fn peek_index(&self) -> Option<usize> {
+        None
+    }
+
     /// Consumes the instruction returned by [`peek`](FetchEngine::peek).
     ///
     /// # Panics

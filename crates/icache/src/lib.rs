@@ -46,10 +46,10 @@
 //! while delivered < 3 {
 //!     engine.offer_requests(&mut mem);
 //!     let out = mem.tick();
-//!     for tag in out.accepted {
+//!     if let Some(tag) = out.accepted {
 //!         engine.on_accepted(tag);
 //!     }
-//!     for beat in &out.beats {
+//!     if let Some(beat) = &out.beats {
 //!         if matches!(beat.source, BeatSource::IFetch | BeatSource::IPrefetch) {
 //!             engine.on_beat(beat);
 //!         }

@@ -83,6 +83,11 @@ impl FetchEngine for PerfectFetch {
         Some(self.pc)
     }
 
+    fn peek_index(&self) -> Option<usize> {
+        self.peek()?;
+        Some(((self.pc - self.base) / PARCEL_BYTES) as usize)
+    }
+
     fn consume(&mut self) {
         let (first, _) = self.peek().expect("consume without available instruction");
         self.pc += instr_len(first) as u32 * PARCEL_BYTES;

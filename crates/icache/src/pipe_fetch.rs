@@ -625,6 +625,13 @@ impl FetchEngine for PipeFetch {
         (!self.iq.is_empty()).then(|| self.iq.head_addr())
     }
 
+    fn peek_index(&self) -> Option<usize> {
+        // The IQ is filled from the image, so its head address indexes the
+        // image directly; gate on a complete instruction like `peek`.
+        self.iq.peek_instruction()?;
+        Some(((self.iq.head_addr() - self.base) / PARCEL_BYTES) as usize)
+    }
+
     fn consume(&mut self) {
         let (first, second) = self.peek().expect("consume without available instruction");
         self.iq.pop();
@@ -696,10 +703,10 @@ mod tests {
     fn cycle(f: &mut PipeFetch, mem: &mut MemorySystem) -> bool {
         f.offer_requests(mem);
         let out = mem.tick();
-        for tag in out.accepted {
+        if let Some(tag) = out.accepted {
             f.on_accepted(tag);
         }
-        for beat in &out.beats {
+        if let Some(beat) = &out.beats {
             if matches!(beat.source, BeatSource::IFetch | BeatSource::IPrefetch) {
                 f.on_beat(beat);
             }
@@ -861,10 +868,10 @@ mod tests {
         for _ in 0..10 {
             f.offer_requests(&mut m);
             let out = m.tick();
-            for t in out.accepted {
+            if let Some(t) = out.accepted {
                 f.on_accepted(t);
             }
-            for b in &out.beats {
+            if let Some(b) = &out.beats {
                 if matches!(b.source, BeatSource::IFetch | BeatSource::IPrefetch) {
                     f.on_beat(b);
                 }
@@ -938,10 +945,10 @@ mod tests {
         for _ in 0..7 {
             f.offer_requests(&mut m);
             let out = m.tick();
-            for t in out.accepted {
+            if let Some(t) = out.accepted {
                 f.on_accepted(t);
             }
-            for b in &out.beats {
+            if let Some(b) = &out.beats {
                 if matches!(b.source, BeatSource::IFetch | BeatSource::IPrefetch) {
                     f.on_beat(b);
                 }

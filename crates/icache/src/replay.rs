@@ -240,7 +240,7 @@ impl ReplayHarness {
         }
 
         let out = self.mem.tick();
-        for tag in out.accepted {
+        if let Some(tag) = out.accepted {
             if self.data_front_tag == Some(tag) {
                 if let Some(PendingOp::Store { .. }) = self.data_q.pop_front() {
                     self.sdq.pop_front();
@@ -250,7 +250,7 @@ impl ReplayHarness {
                 self.engine.on_accepted(tag);
             }
         }
-        for beat in &out.beats {
+        if let Some(beat) = &out.beats {
             match beat.source {
                 BeatSource::IFetch | BeatSource::IPrefetch => self.engine.on_beat(beat),
                 // Data responses went to the LDQ originally; replay has

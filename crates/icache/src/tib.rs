@@ -359,6 +359,13 @@ impl FetchEngine for TibFetch {
         (!self.fq.is_empty()).then(|| self.fq.head_addr())
     }
 
+    fn peek_index(&self) -> Option<usize> {
+        // The FQ is filled from the image, so its head address indexes the
+        // image directly; gate on a complete instruction like `peek`.
+        self.fq.peek_instruction()?;
+        Some(((self.fq.head_addr() - self.base) / PARCEL_BYTES) as usize)
+    }
+
     fn consume(&mut self) {
         let (_, second) = self.peek().expect("consume without available instruction");
         self.fq.pop();
@@ -416,10 +423,10 @@ mod tests {
     fn cycle(f: &mut TibFetch, m: &mut MemorySystem) -> bool {
         f.offer_requests(m);
         let out = m.tick();
-        for t in out.accepted {
+        if let Some(t) = out.accepted {
             f.on_accepted(t);
         }
-        for b in &out.beats {
+        if let Some(b) = &out.beats {
             if matches!(b.source, BeatSource::IFetch | BeatSource::IPrefetch) {
                 f.on_beat(b);
             }

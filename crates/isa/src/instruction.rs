@@ -260,16 +260,20 @@ impl Instruction {
     }
 
     /// The registers read by this instruction, in operand order.
-    pub fn sources(&self) -> Vec<Reg> {
-        match *self {
-            Instruction::Alu { rs1, rs2, .. } => vec![rs1, rs2],
-            Instruction::AluImm { rs1, .. } => vec![rs1],
-            Instruction::Load { base, .. } | Instruction::StoreAddr { base, .. } => vec![base],
-            Instruction::LbrReg { rs1, .. } => vec![rs1],
-            Instruction::Pbr { rs, .. } => vec![rs],
-            Instruction::Lui { rd, .. } => vec![rd], // read-modify-write
-            _ => Vec::new(),
-        }
+    pub fn sources(&self) -> SourceRegs {
+        let (regs, len) = match *self {
+            Instruction::Alu { rs1, rs2, .. } => ([rs1, rs2], 2),
+            Instruction::AluImm { rs1, .. } => ([rs1, rs1], 1),
+            Instruction::Load { base, .. } | Instruction::StoreAddr { base, .. } => {
+                ([base, base], 1)
+            }
+            Instruction::LbrReg { rs1, .. } => ([rs1, rs1], 1),
+            Instruction::Pbr { rs, .. } => ([rs, rs], 1),
+            // read-modify-write
+            Instruction::Lui { rd, .. } => ([rd, rd], 1),
+            _ => ([Reg::new(0), Reg::new(0)], 0),
+        };
+        SourceRegs { regs, len }
     }
 
     /// The general-purpose register written by this instruction, if any.
@@ -281,6 +285,34 @@ impl Instruction {
             | Instruction::Lui { rd, .. } => Some(rd),
             _ => None,
         }
+    }
+}
+
+/// The source registers of an instruction: at most two, held inline so
+/// hazard checks on the per-cycle issue path never touch the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceRegs {
+    regs: [Reg; 2],
+    len: usize,
+}
+
+impl SourceRegs {
+    /// The sources as a slice, in operand order.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len]
+    }
+
+    /// Whether `reg` appears among the sources.
+    pub fn contains(&self, reg: &Reg) -> bool {
+        self.as_slice().contains(reg)
+    }
+}
+
+impl std::ops::Deref for SourceRegs {
+    type Target = [Reg];
+
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
     }
 }
 
@@ -401,14 +433,14 @@ mod tests {
             rs1: Reg::new(2),
             rs2: Reg::new(3),
         };
-        assert_eq!(i.sources(), vec![Reg::new(2), Reg::new(3)]);
+        assert_eq!(i.sources().as_slice(), &[Reg::new(2), Reg::new(3)]);
         assert_eq!(i.destination(), Some(Reg::new(1)));
         assert_eq!(Instruction::Nop.destination(), None);
         let ld = Instruction::Load {
             base: Reg::new(4),
             disp: -8,
         };
-        assert_eq!(ld.sources(), vec![Reg::new(4)]);
+        assert_eq!(ld.sources().as_slice(), &[Reg::new(4)]);
         assert_eq!(ld.destination(), None);
     }
 }

@@ -48,6 +48,7 @@
 pub mod asm;
 pub mod binfmt;
 pub mod decode;
+pub mod decoded;
 pub mod disasm;
 pub mod encode;
 pub mod format;
@@ -59,10 +60,11 @@ pub mod reg;
 pub use asm::{AsmError, Assembler};
 pub use binfmt::{read_program, write_program, BinError};
 pub use decode::{decode, DecodeError};
+pub use decoded::DecodedProgram;
 pub use disasm::disassemble;
 pub use encode::encode;
 pub use format::InstrFormat;
-pub use instruction::{AluOp, Cond, Instruction};
+pub use instruction::{AluOp, Cond, Instruction, SourceRegs};
 pub use opcode::Opcode;
 pub use program::{Program, ProgramBuilder};
 pub use reg::{BranchReg, Reg};

@@ -31,7 +31,7 @@ impl fmt::Display for PriorityPolicy {
 }
 
 /// Configuration of the external memory system.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemConfig {
     /// Cycles between accepting a request and its first response beat
     /// appearing on the input bus (the paper sweeps 1–6).

@@ -34,10 +34,9 @@
 //! let tag = mem.new_tag();
 //! mem.offer(MemRequest::load(ReqClass::DataLoad, 0x1000, 4, tag));
 //! let out = mem.tick(); // cycle 0: request accepted
-//! assert_eq!(out.accepted, vec![tag]);
+//! assert_eq!(out.accepted, Some(tag));
 //! let out = mem.tick(); // cycle 1 (access time 1): data beat arrives
-//! assert_eq!(out.beats.len(), 1);
-//! assert!(out.beats[0].last);
+//! assert!(out.beats.unwrap().last);
 //! ```
 
 pub mod config;

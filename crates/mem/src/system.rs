@@ -32,12 +32,18 @@ use crate::stats::MemStats;
 pub const FPU_BASE: u32 = 0xFFFF_F000;
 
 /// What [`MemorySystem::tick`] produced this cycle.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Arbitration accepts at most one request and the input bus delivers at
+/// most one beat per cycle, so both outputs are inline `Option`s — the
+/// hot loop moves two small values per tick instead of allocating
+/// per-cycle `Vec`s. (`Option` is `IntoIterator`, so `for tag in
+/// out.accepted` still iterates zero-or-one times.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TickOutput {
-    /// Tags of requests accepted this cycle (at most one).
-    pub accepted: Vec<u64>,
-    /// Input-bus beats delivered this cycle (at most one).
-    pub beats: Vec<Beat>,
+    /// Tag of the request accepted this cycle, if any.
+    pub accepted: Option<u64>,
+    /// Input-bus beat delivered this cycle, if any.
+    pub beats: Option<Beat>,
 }
 
 #[derive(Debug, Clone)]
@@ -274,7 +280,7 @@ impl MemorySystem {
             }
             self.stats.in_bus_busy_cycles += 1;
             self.stats.in_bus_bytes += u64::from(bytes);
-            out.beats.push(beat);
+            out.beats = Some(beat);
         }
 
         // --- Acceptance (output bus) ---
@@ -296,7 +302,7 @@ impl MemorySystem {
                 if let Some(req) = self.ports[class.index()].take() {
                     self.stats.accepted[class.index()] += 1;
                     self.stats.out_bus_busy_cycles += 1;
-                    out.accepted.push(req.tag);
+                    out.accepted = Some(req.tag);
                     // Finite-external-cache extension: a miss delays the
                     // access while the line comes from main memory. FPU
                     // traffic bypasses the external cache.
@@ -364,7 +370,7 @@ mod tests {
             let at = mem.cycle();
             mem.offer(req);
             let out = mem.tick();
-            if out.accepted.contains(&req.tag) {
+            if out.accepted == Some(req.tag) {
                 return at;
             }
         }
@@ -377,7 +383,7 @@ mod tests {
         for _ in 0..1000 {
             let at = mem.cycle();
             let out = mem.tick();
-            for b in out.beats {
+            if let Some(b) = out.beats {
                 if b.tag == tag {
                     let last = b.last;
                     beats.push(b);
@@ -444,7 +450,7 @@ mod tests {
             mem.offer(MemRequest::load(ReqClass::DataLoad, 0x0, 4, t1));
             mem.offer(MemRequest::load(ReqClass::IPrefetch, 0x40, 4, t2));
             let out = mem.tick();
-            for tag in out.accepted {
+            if let Some(tag) = out.accepted {
                 accept_cycles.push((tag, at));
             }
             if accept_cycles.len() == 2 {
@@ -465,10 +471,10 @@ mod tests {
         let t2 = mem.new_tag();
         mem.offer(MemRequest::load(ReqClass::DataLoad, 0x0, 4, t1));
         let out = mem.tick();
-        assert_eq!(out.accepted, vec![t1]);
+        assert_eq!(out.accepted, Some(t1));
         mem.offer(MemRequest::load(ReqClass::DataLoad, 0x4, 4, t2));
         let out = mem.tick();
-        assert_eq!(out.accepted, vec![t2]);
+        assert_eq!(out.accepted, Some(t2));
         // Both return, in order, 6 cycles after their acceptance.
         let (_, b1) = drain_tag(&mut mem, t1);
         assert_eq!(b1.len(), 1);
@@ -484,7 +490,7 @@ mod tests {
         mem.offer(MemRequest::load(ReqClass::DataLoad, 0x0, 4, td));
         mem.offer(MemRequest::load(ReqClass::IFetch, 0x40, 4, ti));
         let out = mem.tick();
-        assert_eq!(out.accepted, vec![ti]);
+        assert_eq!(out.accepted, Some(ti));
         assert_eq!(mem.stats().contended_cycles, 1);
     }
 
@@ -498,7 +504,7 @@ mod tests {
         mem.offer(MemRequest::load(ReqClass::IFetch, 0x40, 4, ti));
         mem.offer(MemRequest::load(ReqClass::DataLoad, 0x0, 4, td));
         let out = mem.tick();
-        assert_eq!(out.accepted, vec![td]);
+        assert_eq!(out.accepted, Some(td));
     }
 
     #[test]
@@ -509,7 +515,7 @@ mod tests {
         mem.offer(MemRequest::load(ReqClass::IPrefetch, 0x40, 4, tp));
         mem.offer(MemRequest::store(0x0, 5, ts));
         let out = mem.tick();
-        assert_eq!(out.accepted, vec![ts]);
+        assert_eq!(out.accepted, Some(ts));
     }
 
     #[test]
@@ -546,7 +552,7 @@ mod tests {
         for _ in 0..20 {
             let at = mem.cycle();
             let out = mem.tick();
-            if let Some(beat) = out.beats.first() {
+            if let Some(beat) = out.beats.as_ref() {
                 if beat.source == BeatSource::FpuResult {
                     assert_eq!(beat.value, Some(10.0f32.to_bits()));
                     result_cycle = Some(at);
@@ -577,13 +583,12 @@ mod tests {
         mem.tick();
         mem.offer(MemRequest::load(ReqClass::IPrefetch, 0x40, 4, tp));
         let out = mem.tick(); // accepted; fpu ready next cycle, prefetch too
-        assert!(out.accepted.contains(&tp));
+        assert_eq!(out.accepted, Some(tp));
         let out = mem.tick();
         // Both became deliverable this cycle; FPU wins.
-        assert_eq!(out.beats.len(), 1);
-        assert_eq!(out.beats[0].source, BeatSource::FpuResult);
+        assert_eq!(out.beats.unwrap().source, BeatSource::FpuResult);
         let out = mem.tick();
-        assert_eq!(out.beats[0].source, BeatSource::IPrefetch);
+        assert_eq!(out.beats.unwrap().source, BeatSource::IPrefetch);
     }
 
     #[test]
@@ -608,11 +613,11 @@ mod tests {
         // accepted later from a stale port.
         mem.offer(MemRequest::load(ReqClass::DataLoad, 0x4, 4, t2));
         let out = mem.tick();
-        assert!(out.accepted.is_empty());
+        assert!(out.accepted.is_none());
         assert_eq!(mem.stats().blocked_cycles, 1);
         for _ in 0..20 {
             let out = mem.tick();
-            assert!(out.accepted.is_empty(), "stale offer was accepted");
+            assert!(out.accepted.is_none(), "stale offer was accepted");
         }
     }
 
@@ -623,7 +628,7 @@ mod tests {
         mem.offer(MemRequest::load(ReqClass::DataLoad, 0x0, 4, t));
         mem.withdraw(ReqClass::DataLoad);
         let out = mem.tick();
-        assert!(out.accepted.is_empty());
+        assert!(out.accepted.is_none());
     }
 
     #[test]

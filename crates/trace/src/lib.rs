@@ -49,10 +49,9 @@
 //!     mem_key: "default".into(),
 //! };
 //! let rec = Rc::new(RefCell::new(TraceRecorder::new(Vec::new(), &meta).unwrap()));
-//! let mut proc = Processor::new(&program, &config).unwrap();
-//! proc.set_trace(Box::new(Rc::clone(&rec)));
-//! let stats = proc.run().unwrap();
-//! let (bytes, _) = rec.borrow_mut().finish(stats.cycles).unwrap();
+//! let mut proc = Processor::new(&program, &config).unwrap().with_trace(Rc::clone(&rec));
+//! proc.run().unwrap();
+//! let (bytes, _) = rec.borrow_mut().finish(proc.stats().cycles).unwrap();
 //!
 //! // Replay it through the same front-end: bit-identical fetch stalls.
 //! let outcome = replay_trace(
@@ -63,7 +62,7 @@
 //! )
 //! .unwrap();
 //! assert!(outcome.matches_recording());
-//! assert_eq!(outcome.stats.ifetch_stalls, stats.stalls.ifetch);
+//! assert_eq!(outcome.stats.ifetch_stalls, proc.stats().stalls.ifetch);
 //! ```
 //!
 //! [`FetchEngine`]: pipe_icache::FetchEngine

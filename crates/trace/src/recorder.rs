@@ -11,7 +11,7 @@ use crate::writer::TraceWriter;
 /// A [`TraceSink`] that converts the processor's event stream into trace
 /// steps and writes them through a [`TraceWriter`] as the run proceeds.
 ///
-/// Attach with `Processor::set_trace` (via an `Rc<RefCell<..>>` clone to
+/// Attach with `Processor::with_trace` (via an `Rc<RefCell<..>>` clone to
 /// keep a handle), run the simulation, then call
 /// [`finish`](TraceRecorder::finish) with the run's final cycle count.
 /// Write errors are latched and reported by `finish` — the sink API has
@@ -184,9 +184,10 @@ mod tests {
             fetch: FetchStrategy::Perfect,
             ..SimConfig::default()
         };
-        let mut proc = Processor::new(&program, &config).expect("builds");
-        proc.set_trace(Box::new(Rc::clone(&recorder)));
-        let stats = proc.run().expect("runs");
+        let proc = Processor::new(&program, &config).expect("builds");
+        let mut proc = proc.with_trace(Rc::clone(&recorder));
+        proc.run().expect("runs");
+        let stats = proc.stats();
         let (bytes, summary) = recorder
             .borrow_mut()
             .finish(stats.cycles)

@@ -127,7 +127,7 @@ pub fn replay_trace<R: Read>(
         });
     }
     let engine = fetch.build(program)?;
-    let mut harness = ReplayHarness::new(engine, MemorySystem::new(mem.clone()));
+    let mut harness = ReplayHarness::new(engine, MemorySystem::new(*mem));
     while let Some(step) = reader.next_step() {
         harness.step_instruction(&step?)?;
     }

@@ -56,7 +56,7 @@ fn full_benchmark_on_pipe_and_conventional_engines() {
     ] {
         let cfg = SimConfig {
             fetch,
-            mem: mem.clone(),
+            mem,
             max_cycles: 100_000_000,
             ..SimConfig::default()
         };

@@ -58,7 +58,7 @@ fn main() {
     for (name, fetch) in engines {
         let cfg = SimConfig {
             fetch,
-            mem: mem.clone(),
+            mem,
             ..SimConfig::default()
         };
         match run_program(suite.program(), &cfg) {

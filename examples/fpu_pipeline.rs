@@ -62,7 +62,8 @@ fn main() {
         ..SimConfig::default()
     };
     let mut proc = Processor::new(&program, &cfg).expect("valid config");
-    let stats = proc.run().expect("runs");
+    proc.run().expect("runs");
+    let stats = proc.stats();
 
     // The result was stored at the final r2 position + 0x2000.
     let result_addr = 0x100000 + 4 * 4 + 0x2000;

@@ -52,7 +52,7 @@ fn main() {
     for (name, fetch) in configs {
         let cfg = SimConfig {
             fetch,
-            mem: mem.clone(),
+            mem,
             ..SimConfig::default()
         };
         let stats = run_program(suite.program(), &cfg).expect("benchmark runs");

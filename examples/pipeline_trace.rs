@@ -57,12 +57,13 @@ fn main() {
         }
     }
 
-    let mut proc = Processor::new(&program, &cfg).expect("valid config");
-    proc.set_trace(Box::new(Tee {
+    let proc = Processor::new(&program, &cfg).expect("valid config");
+    let mut proc = proc.with_trace(Tee {
         text: TextTrace::new(std::io::stdout()),
         collect: Rc::clone(&collector),
-    }));
-    let stats = proc.run().expect("runs");
+    });
+    proc.run().expect("runs");
+    let stats = proc.stats();
 
     let events = collector.borrow();
     let stalls = events

@@ -44,9 +44,10 @@ fn main() {
     let recorder = Rc::new(RefCell::new(
         TraceRecorder::new(Vec::new(), &meta).expect("trace header writes"),
     ));
-    let mut proc = Processor::new(&program, &config).expect("processor builds");
-    proc.set_trace(Box::new(Rc::clone(&recorder)));
-    let stats = proc.run().expect("benchmark runs");
+    let proc = Processor::new(&program, &config).expect("processor builds");
+    let mut proc = proc.with_trace(Rc::clone(&recorder));
+    proc.run().expect("benchmark runs");
+    let stats = proc.stats();
     let (bytes, summary) = recorder
         .borrow_mut()
         .finish(stats.cycles)

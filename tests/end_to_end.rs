@@ -24,7 +24,8 @@ fn run_on(program: &Program, fetch: FetchStrategy, access: u32) -> (SimStats, Ve
         ..SimConfig::default()
     };
     let mut proc = pipe_repro::core::Processor::new(program, &cfg).expect("valid");
-    let stats = proc.run().expect("runs");
+    proc.run().expect("runs");
+    let stats = proc.stats().clone();
     let regs = (0..7).map(|i| proc.regs().read(Reg::new(i))).collect();
     let mem = (0..16)
         .map(|i| proc.mem().data().read(0x0010_0000 + i * 4))

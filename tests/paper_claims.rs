@@ -145,7 +145,7 @@ fn tib_beats_small_cache_but_floods_the_bus() {
     let run = |fetch: FetchStrategy| {
         let cfg = SimConfig {
             fetch,
-            mem: m.clone(),
+            mem: m,
             max_cycles: 500_000_000,
             ..SimConfig::default()
         };
@@ -183,7 +183,7 @@ fn knee_sits_at_the_inner_loop_sizes() {
     let sizes = [16u32, 32, 64, 128, 256, 512];
     let curve: Vec<u64> = sizes
         .iter()
-        .map(|&size| cycles(&s, conventional(size), m.clone()))
+        .map(|&size| cycles(&s, conventional(size), m))
         .collect();
     let gains: Vec<f64> = curve
         .windows(2)

@@ -365,10 +365,10 @@ fn every_accepted_read_is_fully_delivered() {
                     tag,
                 ));
                 let out = mem.tick();
-                if out.accepted.contains(&tag) {
+                if out.accepted == Some(tag) {
                     accepted = true;
                 }
-                for b in &out.beats {
+                if let Some(b) = &out.beats {
                     if let Some(entry) = queue.iter_mut().find(|(t, _)| *t == b.tag) {
                         entry.1 = entry.1.saturating_sub(b.bytes);
                         if b.last {
@@ -388,7 +388,7 @@ fn every_accepted_read_is_fully_delivered() {
                 break;
             }
             let out = mem.tick();
-            for b in &out.beats {
+            if let Some(b) = &out.beats {
                 if let Some(entry) = queue.iter_mut().find(|(t, _)| *t == b.tag) {
                     entry.1 = entry.1.saturating_sub(b.bytes);
                 }
@@ -515,7 +515,8 @@ fn random_kernels_agree_between_interpreter_and_processor() {
                 ..SimConfig::default()
             };
             let mut proc = Processor::new(&program, &cfg).expect("valid");
-            let stats = proc.run().expect("runs");
+            proc.run().expect("runs");
+            let stats = proc.stats();
             assert_eq!(stats.instructions_issued, reference.instructions);
             assert_eq!(stats.fpu_ops, reference.fpu_ops);
             assert_eq!(stats.loads, reference.loads);
@@ -583,11 +584,82 @@ fn engines_agree_on_random_alu_programs() {
                 ..SimConfig::default()
             };
             let mut proc = Processor::new(&program, &cfg).expect("valid");
-            let stats = proc.run().expect("runs");
+            proc.run().expect("runs");
+            let stats = proc.stats();
             assert_eq!(stats.instructions_issued, instrs.len() as u64 + 1);
             results.push((0..7).map(|i| proc.regs().read(Reg::new(i))).collect());
         }
         assert_eq!(&results[0], &results[1]);
         assert_eq!(&results[0], &results[2]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predecode / raw-decode parity.
+// ---------------------------------------------------------------------
+
+/// The predecoded fast path and the raw-word fallback (used by trace
+/// replay and non-image-backed engines) must be cycle-for-cycle
+/// indistinguishable: identical full statistics and architectural state
+/// over randomized programs, engines, and memory timings.
+#[test]
+fn predecode_matches_raw_decode_on_random_programs() {
+    let mut rng = Rng::new(0x150a);
+    for trial in 0..24 {
+        // Alternate between straight-line ALU programs and branchy
+        // load/store/FPU kernels so both control-flow shapes are covered.
+        let program = if trial % 2 == 0 {
+            let n = rng.range_u32(1, 120) as usize;
+            let mut b = ProgramBuilder::new(InstrFormat::Fixed32);
+            b.extend((0..n).map(|_| branchless_instruction(&mut rng)));
+            b.push(Instruction::Halt);
+            b.build().expect("builds")
+        } else {
+            let groups = rng.range_u32(1, 8);
+            let ops: Vec<KernelOp> = (0..groups).flat_map(|_| kernel_group(&mut rng)).collect();
+            let cost: u32 = ops.iter().map(|o| o.cost()).sum();
+            let pads = rng.range_u32(3, 8);
+            let kernel = Kernel {
+                index: 98,
+                name: "parity",
+                ops,
+                target_instructions: cost + 3 + pads,
+            };
+            kernel_program(&kernel, rng.range_u32(2, 8), InstrFormat::Fixed32)
+                .expect("balanced groups satisfy the discipline")
+        };
+        let access = rng.range_u32(1, 7);
+        for fetch in [
+            FetchStrategy::Perfect,
+            FetchStrategy::conventional(CacheConfig::new(32, 16)),
+            FetchStrategy::Pipe(PipeFetchConfig::table2(32, 16, 16, 16)),
+        ] {
+            let cfg = SimConfig {
+                fetch,
+                mem: MemConfig {
+                    access_cycles: access,
+                    ..MemConfig::default()
+                },
+                max_cycles: 50_000_000,
+                ..SimConfig::default()
+            };
+            let mut fast = Processor::new(&program, &cfg).expect("valid");
+            fast.run().expect("runs");
+            let mut raw = Processor::new(&program, &cfg).expect("valid");
+            raw.set_force_raw_decode(true);
+            raw.run().expect("runs");
+            assert_eq!(fast.stats(), raw.stats(), "stats diverged under {fetch}");
+            for i in 0..7u8 {
+                assert_eq!(
+                    fast.regs().read(Reg::new(i)),
+                    raw.regs().read(Reg::new(i)),
+                    "r{i} diverged under {fetch}"
+                );
+            }
+            assert!(
+                fast.mem().data() == raw.mem().data(),
+                "memory diverged under {fetch}"
+            );
+        }
     }
 }

@@ -28,9 +28,10 @@ fn record(program: &Program, config: &SimConfig) -> (Vec<u8>, SimStats, TraceSum
     let recorder = Rc::new(RefCell::new(
         TraceRecorder::new(Vec::new(), &meta).expect("trace header writes"),
     ));
-    let mut proc = Processor::new(program, config).expect("processor builds");
-    proc.set_trace(Box::new(Rc::clone(&recorder)));
-    let stats = proc.run().expect("program runs to halt");
+    let proc = Processor::new(program, config).expect("processor builds");
+    let mut proc = proc.with_trace(Rc::clone(&recorder));
+    proc.run().expect("program runs to halt");
+    let stats = proc.stats().clone();
     let (bytes, summary) = recorder
         .borrow_mut()
         .finish(stats.cycles)
