@@ -19,6 +19,8 @@ fn main() -> ExitCode {
         Some("replay") => return replay_main(&args[1..]),
         Some("store") => return store_main(&args[1..]),
         Some("bench") => return bench_main(&args[1..]),
+        Some("serve") => return serve_main(&args[1..]),
+        Some("request") => return request_main(&args[1..]),
         _ => {}
     }
 
@@ -201,6 +203,55 @@ fn replay_main(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("pipe-sim replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", pipe_cli::SERVE_USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let opts = match pipe_cli::parse_serve_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pipe-sim serve: {e}\n\n{}", pipe_cli::SERVE_USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match pipe_cli::run_serve(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pipe-sim serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn request_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", pipe_cli::REQUEST_USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let opts = match pipe_cli::parse_request_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pipe-sim request: {e}\n\n{}", pipe_cli::REQUEST_USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match pipe_cli::run_request(&opts) {
+        Ok((out, ok)) => {
+            print!("{out}");
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("pipe-sim request: {e}");
             ExitCode::FAILURE
         }
     }

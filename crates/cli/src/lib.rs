@@ -17,8 +17,13 @@ use pipe_isa::InstrFormat;
 use pipe_mem::{MemConfig, PriorityPolicy};
 
 mod bench;
+mod serve;
 
 pub use bench::{parse_bench_args, run_bench, BenchOptions, BENCH_USAGE};
+pub use serve::{
+    parse_request_args, parse_serve_args, run_request, run_serve, RequestOptions, ServeOptions,
+    REQUEST_USAGE, SERVE_USAGE,
+};
 
 /// Options for `pipe-sim`, parsed from the command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,7 +76,9 @@ usage: pipe-sim <program.s> [options]
        pipe-sim --sweep 4a|4b|5a|5b|6a|6b [--jobs N] [--resume] [--store DIR]
                 [--strict] [--events DIR]
        pipe-sim replay <trace> [options]      (see pipe-sim replay --help)
-       pipe-sim store prune [--store DIR]
+       pipe-sim store prune [--dry-run] [--store DIR]
+       pipe-sim serve [options]               (see pipe-sim serve --help)
+       pipe-sim request <endpoint> [options]  (see pipe-sim request --help)
 
 fetch strategy:
   --fetch pipe|conventional|tib|buffers|perfect   (default: pipe)
@@ -619,7 +626,7 @@ pub fn run_replay(opts: &ReplayOptions) -> Result<String, String> {
 
 /// The usage string for `pipe-sim store`.
 pub const STORE_USAGE: &str = "\
-usage: pipe-sim store prune [--store DIR]
+usage: pipe-sim store prune [--dry-run] [--store DIR]
 
 prune: delete result-store entries that current code can never load —
 entries recording a different format version, corrupt or truncated
@@ -627,6 +634,8 @@ entries, entries whose file name no longer matches their key's hash
 (a stale key format), and leftover temp files from interrupted writes.
 Valid entries are untouched.
 
+  --dry-run            report what would be removed without deleting
+                       anything
   --store DIR          result-store root            (default: results)
 ";
 
@@ -638,12 +647,14 @@ Valid entries are untouched.
 pub fn run_store_command(args: &[String]) -> Result<String, String> {
     let mut action = None;
     let mut store_dir = "results".to_string();
+    let mut dry_run = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--store" => {
                 store_dir = it.next().ok_or("--store needs a directory")?.clone();
             }
+            "--dry-run" => dry_run = true,
             "prune" if action.is_none() => action = Some("prune"),
             other => return Err(format!("store: unknown argument `{other}`")),
         }
@@ -653,48 +664,27 @@ pub fn run_store_command(args: &[String]) -> Result<String, String> {
             let root = std::path::PathBuf::from(&store_dir);
             let store = pipe_experiments::ResultStore::open(&root)
                 .map_err(|e| format!("cannot open result store {}: {e}", root.display()))?;
-            let report = store.prune().map_err(|e| format!("prune failed: {e}"))?;
-            Ok(format!("pruned {}: {report}\n", store.dir().display()))
+            if dry_run {
+                let report = store
+                    .prune_dry_run()
+                    .map_err(|e| format!("prune failed: {e}"))?;
+                Ok(format!(
+                    "would prune {}: {report} (dry run; nothing deleted)\n",
+                    store.dir().display()
+                ))
+            } else {
+                let report = store.prune().map_err(|e| format!("prune failed: {e}"))?;
+                Ok(format!("pruned {}: {report}\n", store.dir().display()))
+            }
         }
         None => Err("store needs an action (prune)".into()),
         Some(_) => unreachable!(),
     }
 }
 
-/// Serializes run statistics as a JSON object (hand-rolled; the stats are
-/// all integers so no escaping is needed beyond the fixed keys).
-pub fn stats_json(stats: &pipe_core::SimStats) -> String {
-    format!(
-        concat!(
-            "{{\"cycles\":{},\"instructions\":{},\"cpi\":{:.4},",
-            "\"loads\":{},\"stores\":{},\"fpu_ops\":{},",
-            "\"branches_taken\":{},\"branches_not_taken\":{},",
-            "\"stalls\":{{\"ifetch\":{},\"data_wait\":{},\"queue_full\":{},\"branch\":{}}},",
-            "\"fetch\":{{\"demand_requests\":{},\"prefetch_requests\":{},",
-            "\"bytes_requested\":{},\"cache_hits\":{},\"cache_misses\":{},",
-            "\"redirects\":{},\"wasted_requests\":{}}}}}"
-        ),
-        stats.cycles,
-        stats.instructions_issued,
-        stats.cpi(),
-        stats.loads,
-        stats.stores,
-        stats.fpu_ops,
-        stats.branches_taken,
-        stats.branches_not_taken,
-        stats.stalls.ifetch,
-        stats.stalls.data_wait,
-        stats.stalls.queue_full,
-        stats.stalls.branch,
-        stats.fetch.demand_requests,
-        stats.fetch.prefetch_requests,
-        stats.fetch.bytes_requested,
-        stats.fetch.cache_hits,
-        stats.fetch.cache_misses,
-        stats.fetch.redirects,
-        stats.fetch.wasted_requests,
-    )
-}
+// The `--json` statistics shape now lives in the shared JSON module so
+// the CLI and the simulation service emit byte-identical stats objects.
+pub use pipe_experiments::stats_json;
 
 /// Runs `program` under every fetch strategy at the given base
 /// configuration and returns `(label, stats)` per strategy, in a fixed

@@ -1,0 +1,346 @@
+//! `pipe-sim serve` — run the simulation service — and `pipe-sim
+//! request` — a loopback client for driving it from scripts and CI.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use pipe_server::{http_request, Server, ServerConfig};
+
+/// The usage string for `pipe-sim serve`.
+pub const SERVE_USAGE: &str = "\
+usage: pipe-sim serve [options]
+
+Serves the simulator over HTTP (std-only; see docs/SERVICE.md):
+  POST /v1/simulate     one fetch configuration -> stats JSON
+  POST /v1/sweep        a figure-shaped sweep via the sweep engine
+  GET  /v1/workloads    resident decoded programs
+  GET  /metrics         Prometheus-style text metrics
+  GET  /healthz         liveness
+  POST /admin/shutdown  graceful drain and exit
+
+Identical concurrent requests are coalesced onto one simulation, results
+are cached in memory and (with --store) in the shared result store, and
+a full accept queue answers 503 + Retry-After instead of hanging.
+
+options:
+  --addr HOST:PORT     listen address               (default: 127.0.0.1:7878;
+                       port 0 picks an ephemeral port)
+  --jobs N             worker threads               (default: 4)
+  --queue N            accept-queue capacity        (default: 128)
+  --sweep-jobs N       worker threads per /v1/sweep run (default: 2)
+  --timeout-ms N       per-request result deadline  (default: 30000)
+  --store DIR          result-store root (shared with `pipe-sim --sweep`)
+  --events DIR         JSONL event log at DIR/events/server.jsonl
+  --addr-file FILE     write the bound address to FILE once listening
+                       (for scripts using an ephemeral port)
+  --inject-delay-ms N  fault injection (testing): stretch every
+                       simulation by N ms
+";
+
+/// Options for `pipe-sim serve`, parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// The server configuration.
+    pub config: ServerConfig,
+    /// Write the bound address here once listening.
+    pub addr_file: Option<String>,
+}
+
+/// Parses `pipe-sim serve` arguments (excluding the subcommand name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags or missing values.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut config = ServerConfig::default();
+    let mut addr_file = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr needs host:port")?.clone();
+            }
+            "--jobs" => {
+                config.workers = parse_count("--jobs", it.next())?;
+            }
+            "--queue" => {
+                config.queue_capacity = parse_count("--queue", it.next())?;
+            }
+            "--sweep-jobs" => {
+                config.sweep_jobs = parse_count("--sweep-jobs", it.next())?;
+            }
+            "--timeout-ms" => {
+                config.request_timeout =
+                    Duration::from_millis(parse_ms("--timeout-ms", it.next())?);
+            }
+            "--store" => {
+                config.store_root =
+                    Some(PathBuf::from(it.next().ok_or("--store needs a directory")?));
+            }
+            "--events" => {
+                config.events_root = Some(PathBuf::from(
+                    it.next().ok_or("--events needs a directory")?,
+                ));
+            }
+            "--addr-file" => {
+                addr_file = Some(it.next().ok_or("--addr-file needs a file")?.clone());
+            }
+            "--inject-delay-ms" => {
+                config.compute_delay =
+                    Duration::from_millis(parse_ms("--inject-delay-ms", it.next())?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(ServeOptions { config, addr_file })
+}
+
+fn parse_count(flag: &str, value: Option<&String>) -> Result<usize, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    match v.parse() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag}: invalid count `{v}`")),
+    }
+}
+
+fn parse_ms(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid milliseconds `{v}`"))
+}
+
+/// Runs the service until `POST /admin/shutdown` drains it. Prints the
+/// bound address on stdout (and to `--addr-file`) before serving, so
+/// scripts using port 0 can find the server race-free.
+///
+/// # Errors
+///
+/// Returns a user-facing message if the socket, store, event log, or
+/// address file cannot be set up.
+pub fn run_serve(opts: &ServeOptions) -> Result<(), String> {
+    let server = Server::bind(opts.config.clone())
+        .map_err(|e| format!("cannot start server on {}: {e}", opts.config.addr))?;
+    let addr = server.local_addr();
+    if let Some(path) = &opts.addr_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    println!(
+        "pipe-serve listening on {addr} ({} workers, queue {})",
+        opts.config.workers, opts.config.queue_capacity
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// The usage string for `pipe-sim request`.
+pub const REQUEST_USAGE: &str = "\
+usage: pipe-sim request <endpoint> [options]
+
+Performs one HTTP request against a running `pipe-sim serve` instance
+and prints the response body (exit 0 on 2xx, 1 otherwise). Endpoints
+with a body (--json/--data) are POSTed, as are /v1/simulate, /v1/sweep
+and /admin/shutdown; everything else is GET.
+
+examples:
+  pipe-sim request /v1/simulate --data '{\"cache\":64}'
+  pipe-sim request /v1/sweep --json sweep.json --addr 127.0.0.1:7878
+  pipe-sim request /metrics
+  pipe-sim request /admin/shutdown
+
+options:
+  --addr HOST:PORT     the server                   (default: 127.0.0.1:7878)
+  --json FILE          read the request body from FILE
+  --data JSON          use JSON as the request body
+  --timeout-ms N       client timeout               (default: 30000)
+  --include            print the status line and headers before the body
+";
+
+/// Options for `pipe-sim request`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Endpoint path (`/v1/simulate`, `/metrics`, ...).
+    pub endpoint: String,
+    /// The server address.
+    pub addr: String,
+    /// Request body (from `--json` or `--data`).
+    pub body: Option<String>,
+    /// Client timeout.
+    pub timeout: Duration,
+    /// Print status and headers before the body.
+    pub include: bool,
+}
+
+/// Parses `pipe-sim request` arguments (excluding the subcommand name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags, missing values, an
+/// unreadable `--json` file, or a missing endpoint.
+pub fn parse_request_args(args: &[String]) -> Result<RequestOptions, String> {
+    let mut endpoint = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut body = None;
+    let mut timeout = Duration::from_secs(30);
+    let mut include = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--json" => {
+                let path = it.next().ok_or("--json needs a file")?;
+                body = Some(
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?,
+                );
+            }
+            "--data" => body = Some(it.next().ok_or("--data needs a JSON body")?.clone()),
+            "--timeout-ms" => timeout = Duration::from_millis(parse_ms("--timeout-ms", it.next())?),
+            "--include" => include = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            path => {
+                if endpoint.is_some() {
+                    return Err("more than one endpoint".into());
+                }
+                endpoint = Some(path.to_string());
+            }
+        }
+    }
+    let endpoint = endpoint.ok_or("no endpoint (e.g. /v1/simulate)")?;
+    let endpoint = if endpoint.starts_with('/') {
+        endpoint
+    } else {
+        format!("/{endpoint}")
+    };
+    Ok(RequestOptions {
+        endpoint,
+        addr,
+        body,
+        timeout,
+        include,
+    })
+}
+
+/// Performs the request. Returns the text to print and whether the
+/// status was 2xx (the process exit status).
+///
+/// # Errors
+///
+/// Returns a user-facing message when the server is unreachable or the
+/// response is not HTTP.
+pub fn run_request(opts: &RequestOptions) -> Result<(String, bool), String> {
+    let method = if opts.body.is_some()
+        || matches!(
+            opts.endpoint.as_str(),
+            "/v1/simulate" | "/v1/sweep" | "/admin/shutdown"
+        ) {
+        "POST"
+    } else {
+        "GET"
+    };
+    let response = http_request(
+        &opts.addr,
+        method,
+        &opts.endpoint,
+        opts.body.as_deref(),
+        opts.timeout,
+    )
+    .map_err(|e| format!("request to {} failed: {e}", opts.addr))?;
+    let mut out = String::new();
+    if opts.include {
+        out.push_str(&format!(
+            "HTTP/1.1 {} {}\n",
+            response.status,
+            pipe_server::http::reason(response.status)
+        ));
+        for (name, value) in &response.headers {
+            out.push_str(&format!("{name}: {value}\n"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&response.body_text());
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    Ok((out, (200..300).contains(&response.status)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_defaults() {
+        let opts = parse_serve_args(&[]).unwrap();
+        assert_eq!(opts.config.addr, "127.0.0.1:7878");
+        assert_eq!(opts.config.workers, 4);
+        assert_eq!(opts.config.queue_capacity, 128);
+        assert!(opts.config.store_root.is_none());
+        assert!(opts.addr_file.is_none());
+    }
+
+    #[test]
+    fn serve_full_flags() {
+        let opts = parse_serve_args(&to_args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "8",
+            "--queue",
+            "64",
+            "--sweep-jobs",
+            "3",
+            "--timeout-ms",
+            "1500",
+            "--store",
+            "results",
+            "--events",
+            "logs",
+            "--addr-file",
+            "addr.txt",
+            "--inject-delay-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(opts.config.addr, "127.0.0.1:0");
+        assert_eq!(opts.config.workers, 8);
+        assert_eq!(opts.config.queue_capacity, 64);
+        assert_eq!(opts.config.sweep_jobs, 3);
+        assert_eq!(opts.config.request_timeout, Duration::from_millis(1500));
+        assert_eq!(opts.config.store_root.as_deref(), Some("results".as_ref()));
+        assert_eq!(opts.config.events_root.as_deref(), Some("logs".as_ref()));
+        assert_eq!(opts.addr_file.as_deref(), Some("addr.txt"));
+        assert_eq!(opts.config.compute_delay, Duration::from_millis(250));
+    }
+
+    #[test]
+    fn serve_rejects_bad_input() {
+        assert!(parse_serve_args(&to_args(&["--jobs", "0"])).is_err());
+        assert!(parse_serve_args(&to_args(&["--jobs"])).is_err());
+        assert!(parse_serve_args(&to_args(&["--warp-speed"])).is_err());
+    }
+
+    #[test]
+    fn request_parses_endpoint_and_body() {
+        let opts =
+            parse_request_args(&to_args(&["/v1/simulate", "--data", "{\"cache\":64}"])).unwrap();
+        assert_eq!(opts.endpoint, "/v1/simulate");
+        assert_eq!(opts.body.as_deref(), Some("{\"cache\":64}"));
+        assert!(!opts.include);
+        // A bare endpoint name gets its leading slash.
+        let opts = parse_request_args(&to_args(&["metrics", "--include"])).unwrap();
+        assert_eq!(opts.endpoint, "/metrics");
+        assert!(opts.include);
+    }
+
+    #[test]
+    fn request_requires_an_endpoint() {
+        assert!(parse_request_args(&[]).is_err());
+        assert!(parse_request_args(&to_args(&["/a", "/b"])).is_err());
+    }
+}

@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use crate::store::json_escape;
+use crate::json::escape as json_escape;
 
 /// Milliseconds since the Unix epoch (0 if the clock is unavailable).
 fn now_ms() -> u128 {
@@ -86,6 +86,15 @@ impl RunLog {
         );
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
         let _ = file.write_all(line.as_bytes());
+    }
+
+    /// Appends an arbitrary event line. `fields` is pre-rendered JSON
+    /// (without the shared `event`/`ts_ms`/`run` envelope), e.g.
+    /// `"\"addr\":\"127.0.0.1:7878\",\"workers\":4"`. This is how other
+    /// subsystems — the simulation service in particular — reuse the
+    /// sweep event-log format for their own lifecycle events.
+    pub fn append(&self, event: &str, fields: &str) {
+        self.emit(event, fields);
     }
 
     /// The sweep is starting: total job count, worker threads, strictness.

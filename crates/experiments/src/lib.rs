@@ -22,6 +22,7 @@
 
 pub mod events;
 pub mod figures;
+pub mod json;
 pub mod matrix;
 pub mod profile;
 pub mod report;
@@ -38,6 +39,7 @@ pub use figures::{
     ablation, figure, figure_mem, figure_with, try_figure_with, try_figure_with_workload, Figure,
     FigureRun, Series, ALL_ABLATIONS, ALL_FIGURES,
 };
+pub use json::stats_json;
 pub use matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
 pub use profile::{per_loop_profile, render_profile, render_profile_csv, LoopProfile, LoopShare};
 pub use report::{check_expectations, render_csv, render_failures, render_text};

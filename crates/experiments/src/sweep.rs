@@ -556,9 +556,10 @@ impl SweepRunner {
         for job in &jobs {
             match self.load_cached(spec, job, log.as_ref()) {
                 Some(entry) => {
-                    self.report(spec, job, entry.cycles, Duration::ZERO, true, total);
+                    let cycles = entry.stats.cycles;
+                    self.report(spec, job, cycles, Duration::ZERO, true, total);
                     if let Some(log) = &log {
-                        log.job_cached(job.index, job.kind.label(), job.cache_bytes, entry.cycles);
+                        log.job_cached(job.index, job.kind.label(), job.cache_bytes, cycles);
                     }
                     slots[job.index] = Some(PointOutcome {
                         point: entry.to_point(),

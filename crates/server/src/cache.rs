@@ -1,0 +1,511 @@
+//! The simulation service: program residency, result caching, and
+//! single-flight request coalescing.
+//!
+//! [`SimService::simulate`] resolves one fully-specified simulation
+//! point through four layers, cheapest first:
+//!
+//! 1. **Memory memo** — results this process has already produced, keyed
+//!    by the canonical configuration key.
+//! 2. **Result store** — the content-addressed on-disk store shared with
+//!    the sweep engine (same keys, same entries); hits are promoted into
+//!    the memo.
+//! 3. **Single-flight join** — an identical simulation already running:
+//!    the request parks on the in-flight entry instead of recomputing.
+//! 4. **Compute** — the simulation runs on a dedicated thread, writes
+//!    through to store and memo, then wakes every joined waiter.
+//!
+//! Computation is deliberately *detached* from the requesting worker: a
+//! request that outlives its deadline returns `504` while the
+//! simulation keeps running in the background, so the spent work still
+//! lands in the memo and a retry becomes a cache hit. Publication order
+//! (memo before the in-flight entry is retired) guarantees that a burst
+//! of identical requests performs exactly one simulation no matter how
+//! the arrivals interleave.
+//!
+//! Decoded programs are cached per workload key, so repeated requests
+//! against the same benchmark share one [`DecodedProgram`] allocation.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pipe_core::FetchStrategy;
+use pipe_experiments::runner::try_run_point_decoded;
+use pipe_experiments::{mem_key, ResultStore, StoredPoint, WorkloadSpec};
+use pipe_isa::DecodedProgram;
+use pipe_mem::MemConfig;
+
+use crate::metrics::Metrics;
+
+/// Where a simulation result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// This request ran the simulation.
+    Computed,
+    /// This request joined an identical in-flight simulation.
+    Coalesced,
+    /// Served from the in-process memo.
+    Memory,
+    /// Served from the persistent result store.
+    Store,
+}
+
+impl Source {
+    /// The label used in the `X-Pipe-Source` response header.
+    pub fn label(self) -> &'static str {
+        match self {
+            Source::Computed => "computed",
+            Source::Coalesced => "coalesced",
+            Source::Memory => "memory",
+            Source::Store => "store",
+        }
+    }
+
+    /// Whether this source counts as a cache hit (`X-Pipe-Cache`).
+    pub fn is_cache_hit(self) -> bool {
+        matches!(self, Source::Memory | Source::Store)
+    }
+}
+
+/// One fully-resolved simulation request.
+#[derive(Debug, Clone)]
+pub struct SimPoint {
+    /// The benchmark to run.
+    pub workload: WorkloadSpec,
+    /// The fetch front-end.
+    pub fetch: FetchStrategy,
+    /// External memory parameters.
+    pub mem: MemConfig,
+    /// Cache size in bytes (reported back; the geometry itself lives in
+    /// `fetch`).
+    pub cache_bytes: u32,
+}
+
+impl SimPoint {
+    /// The canonical configuration key — identical to the sweep engine's
+    /// job keys, so the service and `pipe-sim sweep` share store entries.
+    pub fn key(&self) -> String {
+        format!(
+            "v1|wl={}|mem={}|fetch={}",
+            self.workload.key(),
+            mem_key(&self.mem),
+            self.fetch.cache_key()
+        )
+    }
+}
+
+/// A resolved simulation with its provenance.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The persisted-shape result entry.
+    pub entry: StoredPoint,
+    /// Which layer produced it.
+    pub source: Source,
+}
+
+/// Why a simulation request failed.
+#[derive(Debug, Clone)]
+pub enum SimServiceError {
+    /// The simulator reported an error or the compute thread panicked.
+    Sim(String),
+    /// The deadline passed while the simulation was still running (it
+    /// continues in the background).
+    Timeout,
+}
+
+impl std::fmt::Display for SimServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimServiceError::Sim(m) => write!(f, "simulation failed: {m}"),
+            SimServiceError::Timeout => write!(f, "simulation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SimServiceError {}
+
+/// One in-flight simulation that identical requests park on.
+#[derive(Debug, Default)]
+struct Inflight {
+    done: Mutex<Option<Result<StoredPoint, String>>>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    /// Waits until the result is published or `deadline` passes.
+    fn wait(&self, deadline: Instant) -> Option<Result<StoredPoint, String>> {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = done.as_ref() {
+                return Some(result.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(done, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            done = guard;
+        }
+    }
+
+    fn publish(&self, result: Result<StoredPoint, String>) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// The shared simulation engine behind the HTTP handlers.
+#[derive(Debug)]
+pub struct SimService {
+    programs: Mutex<HashMap<String, Arc<DecodedProgram>>>,
+    memo: Mutex<HashMap<String, StoredPoint>>,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    store: Option<ResultStore>,
+    metrics: Arc<Metrics>,
+    compute_delay: Duration,
+}
+
+impl SimService {
+    /// Creates a service over an optional persistent store.
+    /// `compute_delay` artificially lengthens every simulation — test
+    /// and diagnostic fault injection for the backpressure and timeout
+    /// paths, in the spirit of the sweep engine's `FaultInjection`.
+    pub fn new(
+        store: Option<ResultStore>,
+        metrics: Arc<Metrics>,
+        compute_delay: Duration,
+    ) -> SimService {
+        SimService {
+            programs: Mutex::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            store,
+            metrics,
+            compute_delay,
+        }
+    }
+
+    /// The decoded program for `workload`, building and predecoding it
+    /// on first use and sharing the `Arc` afterwards.
+    pub fn program(&self, workload: &WorkloadSpec) -> Arc<DecodedProgram> {
+        let key = workload.key();
+        let mut programs = self.programs.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            programs
+                .entry(key)
+                .or_insert_with(|| Arc::new(DecodedProgram::new(workload.build()))),
+        )
+    }
+
+    /// The workloads currently resident, as `(key, instructions)` pairs
+    /// sorted by key.
+    pub fn resident_workloads(&self) -> Vec<(String, usize)> {
+        let programs = self.programs.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, usize)> = programs
+            .iter()
+            .map(|(key, program)| (key.clone(), program.len()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Resolves `point` through memo, store, in-flight join, or a fresh
+    /// computation, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimServiceError::Timeout`] when the deadline passes first (the
+    /// simulation continues in the background), [`SimServiceError::Sim`]
+    /// when the simulator errors or panics.
+    pub fn simulate(
+        self: &Arc<Self>,
+        point: &SimPoint,
+        timeout: Duration,
+    ) -> Result<SimResult, SimServiceError> {
+        let key = point.key();
+        if let Some(entry) = self.memo_get(&key) {
+            self.metrics.sim_memory_hits.inc();
+            return Ok(SimResult {
+                entry,
+                source: Source::Memory,
+            });
+        }
+        if let Some(store) = &self.store {
+            match store.load(&key) {
+                Ok(Some(entry)) => {
+                    self.memo_put(entry.clone());
+                    self.metrics.sim_store_hits.inc();
+                    return Ok(SimResult {
+                        entry,
+                        source: Source::Store,
+                    });
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // An unreadable entry is recomputed, like the sweep
+                    // engine does; the rewrite will repair it.
+                    eprintln!("store read failed for {key}: {e}");
+                }
+            }
+        }
+
+        let deadline = Instant::now() + timeout;
+        let (flight, leader) = self.join_or_lead(&key);
+        if leader {
+            let service = Arc::clone(self);
+            let task_point = point.clone();
+            let task_key = key.clone();
+            let task_flight = Arc::clone(&flight);
+            std::thread::spawn(move || service.compute(task_key, task_point, task_flight));
+        } else {
+            self.metrics.sim_coalesced.inc();
+        }
+        let source = if leader {
+            Source::Computed
+        } else {
+            Source::Coalesced
+        };
+        match flight.wait(deadline) {
+            Some(Ok(entry)) => Ok(SimResult { entry, source }),
+            Some(Err(message)) => Err(SimServiceError::Sim(message)),
+            None => {
+                self.metrics.timeouts.inc();
+                Err(SimServiceError::Timeout)
+            }
+        }
+    }
+
+    fn memo_get(&self, key: &str) -> Option<StoredPoint> {
+        self.memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    fn memo_put(&self, entry: StoredPoint) {
+        self.memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(entry.key.clone(), entry);
+    }
+
+    /// Returns the in-flight entry for `key`, creating it (and electing
+    /// this caller leader) if none exists.
+    fn join_or_lead(&self, key: &str) -> (Arc<Inflight>, bool) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        match inflight.get(key) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Inflight::default());
+                inflight.insert(key.to_string(), Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    }
+
+    /// Runs one simulation on its own thread and publishes the outcome.
+    fn compute(&self, key: String, point: SimPoint, flight: Arc<Inflight>) {
+        self.metrics.inflight_sims.inc();
+        let started = Instant::now();
+        if !self.compute_delay.is_zero() {
+            std::thread::sleep(self.compute_delay);
+        }
+        let program = self.program(&point.workload);
+        let fetch = point.fetch;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            try_run_point_decoded(&program, fetch, &point.mem, point.cache_bytes)
+        }));
+        let outcome = match run {
+            Ok(Ok(measured)) => {
+                let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+                let entry = StoredPoint::from_point(&key, &point.fetch.label(), &measured, wall_ms);
+                // Publish to memo (and store) BEFORE retiring the
+                // in-flight entry: a request arriving in between sees
+                // either the memo or the in-flight run, never a gap that
+                // would trigger a second computation.
+                self.memo_put(entry.clone());
+                if let Some(store) = &self.store {
+                    if let Err(e) = store.save(&entry) {
+                        eprintln!("store write failed for {key}: {e}");
+                    }
+                }
+                self.metrics.sim_computed.inc();
+                Ok(entry)
+            }
+            Ok(Err(sim_error)) => {
+                self.metrics.sim_failed.inc();
+                Err(sim_error.to_string())
+            }
+            Err(panic) => {
+                self.metrics.sim_failed.inc();
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Err(format!("worker panicked: {message}"))
+            }
+        };
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
+        flight.publish(outcome);
+        self.metrics.inflight_sims.dec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipe_isa::InstrFormat;
+
+    fn tiny_point() -> SimPoint {
+        SimPoint {
+            workload: WorkloadSpec::TightLoop {
+                body: 6,
+                trips: 30,
+                format: InstrFormat::Fixed32,
+            },
+            fetch: pipe_icache::EngineBuilder::new(pipe_icache::FetchKind::Pipe)
+                .cache_bytes(64)
+                .line_bytes(16)
+                .config()
+                .unwrap(),
+            mem: MemConfig::default(),
+            cache_bytes: 64,
+        }
+    }
+
+    fn service(delay_ms: u64) -> Arc<SimService> {
+        Arc::new(SimService::new(
+            None,
+            Arc::new(Metrics::default()),
+            Duration::from_millis(delay_ms),
+        ))
+    }
+
+    #[test]
+    fn point_key_matches_sweep_key_format() {
+        let point = tiny_point();
+        let key = point.key();
+        assert!(key.starts_with("v1|wl=tight-loop:body=6,trips=30,format="));
+        assert!(key.contains("|mem=access=1,"));
+        assert!(key.contains("|fetch="));
+    }
+
+    #[test]
+    fn compute_then_memo_hit() {
+        let service = service(0);
+        let point = tiny_point();
+        let first = service
+            .simulate(&point, Duration::from_secs(30))
+            .expect("first run");
+        assert_eq!(first.source, Source::Computed);
+        assert!(first.entry.stats.cycles > 0);
+        let second = service
+            .simulate(&point, Duration::from_secs(30))
+            .expect("second run");
+        assert_eq!(second.source, Source::Memory);
+        assert_eq!(second.entry, first.entry);
+        assert_eq!(service.metrics.sim_computed.get(), 1);
+        assert_eq!(service.metrics.sim_memory_hits.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compute_once() {
+        let service = service(50);
+        let point = tiny_point();
+        let results: Vec<SimResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let point = point.clone();
+                    scope.spawn(move || service.simulate(&point, Duration::from_secs(30)).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(service.metrics.sim_computed.get(), 1, "exactly one sim");
+        let first = &results[0].entry;
+        for result in &results {
+            assert_eq!(&result.entry, first, "all responses identical");
+        }
+        assert!(results.iter().any(|r| r.source == Source::Computed));
+    }
+
+    #[test]
+    fn timeout_returns_504_path_then_background_fill() {
+        let service = service(300);
+        let point = tiny_point();
+        let err = service
+            .simulate(&point, Duration::from_millis(30))
+            .unwrap_err();
+        assert!(matches!(err, SimServiceError::Timeout));
+        assert_eq!(service.metrics.timeouts.get(), 1);
+        // The simulation keeps running; once it lands, the same request
+        // is a memo hit.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match service.simulate(&point, Duration::from_secs(30)) {
+                Ok(result) if result.source == Source::Memory => break,
+                Ok(result) => {
+                    assert_eq!(result.source, Source::Coalesced);
+                }
+                Err(SimServiceError::Timeout) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(Instant::now() < deadline, "background fill never landed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(service.metrics.sim_computed.get(), 1);
+    }
+
+    #[test]
+    fn store_round_trip_and_promotion() {
+        let dir = std::env::temp_dir().join(format!("pipe-serve-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let point = tiny_point();
+        let first = {
+            let service = Arc::new(SimService::new(
+                Some(ResultStore::open(&dir).unwrap()),
+                Arc::new(Metrics::default()),
+                Duration::ZERO,
+            ));
+            service.simulate(&point, Duration::from_secs(30)).unwrap()
+        };
+        assert_eq!(first.source, Source::Computed);
+        // A fresh process (fresh memo) finds the entry in the store.
+        let service = Arc::new(SimService::new(
+            Some(ResultStore::open(&dir).unwrap()),
+            Arc::new(Metrics::default()),
+            Duration::ZERO,
+        ));
+        let second = service.simulate(&point, Duration::from_secs(30)).unwrap();
+        assert_eq!(second.source, Source::Store);
+        assert_eq!(second.entry, first.entry);
+        // And the store hit was promoted to the memo.
+        let third = service.simulate(&point, Duration::from_secs(30)).unwrap();
+        assert_eq!(third.source, Source::Memory);
+        assert_eq!(service.metrics.sim_computed.get(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn program_residency_shares_one_decode() {
+        let service = service(0);
+        let workload = tiny_point().workload;
+        let a = service.program(&workload);
+        let b = service.program(&workload);
+        assert!(Arc::ptr_eq(&a, &b));
+        let resident = service.resident_workloads();
+        assert_eq!(resident.len(), 1);
+        assert!(resident[0].0.starts_with("tight-loop:"));
+        assert!(resident[0].1 > 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! A deliberately small HTTP/1.1 implementation over `std` sockets.
+//!
+//! The service speaks exactly the subset it needs: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies only, a 1 MiB body cap, and flat JSON payloads. Parsing is
+//! factored over [`std::io::BufRead`] so it is unit-testable without a
+//! socket, and the client half ([`read_response`], [`http_request`]) is
+//! public so `pipe-sim request`, the examples, and the integration tests
+//! all share one implementation.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Maximum accepted request-body size (1 MiB).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+/// Maximum accepted request-line or header-line length.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Maximum accepted header count.
+const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection failed mid-read.
+    Io(io::Error),
+    /// The bytes were not valid HTTP (status 400).
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`] (status 413).
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge => write!(f, "request body too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string included if any.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text, or `None` if it is not valid UTF-8.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Err(HttpError::Malformed("unexpected end of stream".into()));
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::Malformed("header line too long".into()));
+                }
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))
+}
+
+/// Reads one request (request line, headers, `Content-Length` body).
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for bytes that are not HTTP,
+/// [`HttpError::TooLarge`] when the declared body exceeds the cap, and
+/// [`HttpError::Io`] when the connection drops mid-request.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+    let request_line = read_line(r)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request path".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length: {v}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; length];
+    r.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// The canonical reason phrase for the statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// One response to serialise. Every response closes the connection and
+/// carries an explicit `Content-Length`.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (beyond status line, content type/length, close).
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (the metrics endpoint).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A JSON error envelope: `{"error":"..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\":\"{}\"}}",
+                pipe_experiments::json::escape(message)
+            ),
+        )
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialises the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors (typically a client that went away).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// A response as seen by a client.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response from the server side of a connection.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] when the bytes are not an HTTP response,
+/// [`HttpError::Io`] on connection failure.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, HttpError> {
+    let status_line = read_line(r)?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty status line".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("not HTTP: {status_line}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line: {status_line}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let body = match length {
+        Some(length) => {
+            let mut body = vec![0u8; length];
+            r.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            // Connection: close delimiting — read to EOF.
+            let mut body = Vec::new();
+            r.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Performs one request against `addr` and returns the parsed response.
+/// This is the loopback client behind `pipe-sim request`, the examples,
+/// and the integration tests. `body`, when given, is sent as JSON.
+///
+/// # Errors
+///
+/// Propagates connection and read errors; a malformed response surfaces
+/// as [`io::ErrorKind::InvalidData`].
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr {addr}")))?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut out = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n");
+    match body {
+        Some(body) => {
+            out.push_str(&format!(
+                "content-type: application/json\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            ));
+            out.push_str(body);
+        }
+        None => out.push_str("\r\n"),
+    }
+    let mut stream2 = stream.try_clone()?;
+    stream2.write_all(out.as_bytes())?;
+    stream2.flush()?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/simulate");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body_text(), Some("{\"a\":1}"));
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        let raw = b"GET /metrics HTTP/1.0\nAccept: */*\n\n";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(matches!(
+            read_request(&mut Cursor::new(&b"not http at all\r\n\r\n"[..])),
+            Err(HttpError::Malformed(_))
+        ));
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge.as_bytes())),
+            Err(HttpError::TooLarge)
+        ));
+        let trunc = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&trunc[..])),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_through_client_reader() {
+        let resp = Response::json(200, "{\"ok\":true}".to_string())
+            .header("x-pipe-source", "computed")
+            .header("x-pipe-cache", "miss");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let parsed = read_response(&mut Cursor::new(&wire[..])).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("x-pipe-source"), Some("computed"));
+        assert_eq!(parsed.header("content-type"), Some("application/json"));
+        assert_eq!(parsed.body_text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn error_envelope_escapes_message() {
+        let resp = Response::error(400, "bad \"field\"");
+        assert_eq!(
+            String::from_utf8_lossy(&resp.body),
+            "{\"error\":\"bad \\\"field\\\"\"}"
+        );
+        assert_eq!(resp.status, 400);
+    }
+}

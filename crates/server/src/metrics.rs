@@ -1,0 +1,301 @@
+//! Live service metrics, rendered in the Prometheus text format.
+//!
+//! Everything is a lock-free atomic so the hot request path never
+//! contends on a metrics mutex: per-endpoint request counters, response
+//! counts by status, simulation outcome counters (computed, coalesced
+//! onto an in-flight run, memory-memo hits, store hits), backpressure
+//! rejections and timeouts, queue-depth and in-flight gauges, and one
+//! fixed-bucket request-latency histogram. `GET /metrics` renders the
+//! whole set with [`Metrics::render`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down gauge (queue depth, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one (saturating — a stray decrement cannot wrap).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (milliseconds) of the latency histogram buckets; an
+/// implicit `+Inf` bucket catches the rest.
+pub const LATENCY_BUCKETS_MS: [u64; 12] = [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len()],
+    overflow: AtomicU64,
+    sum_ms: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation of `ms` milliseconds.
+    pub fn observe_ms(&self, ms: u64) {
+        match LATENCY_BUCKETS_MS.iter().position(|&b| ms <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_ms.fetch_add(ms, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.overflow.load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            self.sum_ms.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+}
+
+/// The statuses the service emits, each with its own counter; anything
+/// else lands in `other`.
+const STATUSES: [u16; 8] = [200, 400, 404, 405, 413, 500, 503, 504];
+
+/// All live counters of one server instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `POST /v1/simulate` requests received.
+    pub requests_simulate: Counter,
+    /// `POST /v1/sweep` requests received.
+    pub requests_sweep: Counter,
+    /// `GET /v1/workloads` requests received.
+    pub requests_workloads: Counter,
+    /// `GET /metrics` requests received.
+    pub requests_metrics: Counter,
+    /// `POST /admin/shutdown` requests received.
+    pub requests_shutdown: Counter,
+    /// `GET /healthz` requests received.
+    pub requests_healthz: Counter,
+    /// Requests to any unrecognised route or method.
+    pub requests_other: Counter,
+    responses: [Counter; STATUSES.len()],
+    responses_other: Counter,
+    /// Simulations actually executed by this process.
+    pub sim_computed: Counter,
+    /// Requests that joined an identical in-flight simulation.
+    pub sim_coalesced: Counter,
+    /// Requests satisfied from the in-memory memo.
+    pub sim_memory_hits: Counter,
+    /// Requests satisfied from the persistent result store.
+    pub sim_store_hits: Counter,
+    /// Simulations that failed (simulator error or worker panic).
+    pub sim_failed: Counter,
+    /// Connections rejected with `503` because the accept queue was full.
+    pub rejected_busy: Counter,
+    /// Requests that returned `504` after waiting out the deadline.
+    pub timeouts: Counter,
+    /// Connections currently queued for a worker.
+    pub queue_depth: Gauge,
+    /// Requests currently being handled by workers.
+    pub inflight_requests: Gauge,
+    /// Simulations currently executing.
+    pub inflight_sims: Gauge,
+    /// End-to-end request latency.
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Counts one response with the given status.
+    pub fn count_status(&self, status: u16) {
+        match STATUSES.iter().position(|&s| s == status) {
+            Some(i) => self.responses[i].inc(),
+            None => self.responses_other.inc(),
+        }
+    }
+
+    /// Total responses with `status` so far.
+    pub fn status_count(&self, status: u16) -> u64 {
+        match STATUSES.iter().position(|&s| s == status) {
+            Some(i) => self.responses[i].get(),
+            None => self.responses_other.get(),
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let requests: [(&str, &Counter); 7] = [
+            ("simulate", &self.requests_simulate),
+            ("sweep", &self.requests_sweep),
+            ("workloads", &self.requests_workloads),
+            ("metrics", &self.requests_metrics),
+            ("shutdown", &self.requests_shutdown),
+            ("healthz", &self.requests_healthz),
+            ("other", &self.requests_other),
+        ];
+        out.push_str("# TYPE pipe_serve_requests_total counter\n");
+        for (endpoint, counter) in requests {
+            out.push_str(&format!(
+                "pipe_serve_requests_total{{endpoint=\"{endpoint}\"}} {}\n",
+                counter.get()
+            ));
+        }
+        out.push_str("# TYPE pipe_serve_responses_total counter\n");
+        for (i, status) in STATUSES.iter().enumerate() {
+            out.push_str(&format!(
+                "pipe_serve_responses_total{{status=\"{status}\"}} {}\n",
+                self.responses[i].get()
+            ));
+        }
+        out.push_str(&format!(
+            "pipe_serve_responses_total{{status=\"other\"}} {}\n",
+            self.responses_other.get()
+        ));
+        out.push_str("# TYPE pipe_serve_sim_total counter\n");
+        let sims: [(&str, &Counter); 5] = [
+            ("computed", &self.sim_computed),
+            ("coalesced", &self.sim_coalesced),
+            ("memory_hit", &self.sim_memory_hits),
+            ("store_hit", &self.sim_store_hits),
+            ("failed", &self.sim_failed),
+        ];
+        for (outcome, counter) in sims {
+            out.push_str(&format!(
+                "pipe_serve_sim_total{{outcome=\"{outcome}\"}} {}\n",
+                counter.get()
+            ));
+        }
+        out.push_str("# TYPE pipe_serve_rejected_busy_total counter\n");
+        out.push_str(&format!(
+            "pipe_serve_rejected_busy_total {}\n",
+            self.rejected_busy.get()
+        ));
+        out.push_str("# TYPE pipe_serve_timeouts_total counter\n");
+        out.push_str(&format!(
+            "pipe_serve_timeouts_total {}\n",
+            self.timeouts.get()
+        ));
+        out.push_str("# TYPE pipe_serve_queue_depth gauge\n");
+        out.push_str(&format!(
+            "pipe_serve_queue_depth {}\n",
+            self.queue_depth.get()
+        ));
+        out.push_str("# TYPE pipe_serve_inflight_requests gauge\n");
+        out.push_str(&format!(
+            "pipe_serve_inflight_requests {}\n",
+            self.inflight_requests.get()
+        ));
+        out.push_str("# TYPE pipe_serve_inflight_sims gauge\n");
+        out.push_str(&format!(
+            "pipe_serve_inflight_sims {}\n",
+            self.inflight_sims.get()
+        ));
+        out.push_str("# TYPE pipe_serve_request_latency_ms histogram\n");
+        self.latency
+            .render("pipe_serve_request_latency_ms", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_saturates_at_zero() {
+        let g = Gauge::default();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::default();
+        m.latency.observe_ms(0);
+        m.latency.observe_ms(3);
+        m.latency.observe_ms(9_999);
+        let text = m.render();
+        assert!(text.contains("pipe_serve_request_latency_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("pipe_serve_request_latency_ms_bucket{le=\"5\"} 2\n"));
+        assert!(text.contains("pipe_serve_request_latency_ms_bucket{le=\"5000\"} 2\n"));
+        assert!(text.contains("pipe_serve_request_latency_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("pipe_serve_request_latency_ms_count 3\n"));
+        assert!(text.contains("pipe_serve_request_latency_ms_sum 10002\n"));
+    }
+
+    #[test]
+    fn status_counters_split_known_from_other() {
+        let m = Metrics::default();
+        m.count_status(200);
+        m.count_status(200);
+        m.count_status(503);
+        m.count_status(418);
+        assert_eq!(m.status_count(200), 2);
+        assert_eq!(m.status_count(503), 1);
+        assert_eq!(m.status_count(418), 1);
+        let text = m.render();
+        assert!(text.contains("pipe_serve_responses_total{status=\"200\"} 2\n"));
+        assert!(text.contains("pipe_serve_responses_total{status=\"other\"} 1\n"));
+    }
+
+    #[test]
+    fn render_covers_every_family() {
+        let text = Metrics::default().render();
+        for family in [
+            "pipe_serve_requests_total",
+            "pipe_serve_responses_total",
+            "pipe_serve_sim_total",
+            "pipe_serve_rejected_busy_total",
+            "pipe_serve_timeouts_total",
+            "pipe_serve_queue_depth",
+            "pipe_serve_inflight_requests",
+            "pipe_serve_inflight_sims",
+            "pipe_serve_request_latency_ms_bucket",
+        ] {
+            assert!(text.contains(family), "missing {family}");
+        }
+    }
+}

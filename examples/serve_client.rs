@@ -1,0 +1,53 @@
+//! Drive the simulation service end to end, in process: start a server
+//! on an ephemeral port, request the same simulation twice (computed,
+//! then a cache hit), read the live metrics, and shut down gracefully.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! The same exchange works from the command line against
+//! `pipe-sim serve` — see docs/SERVICE.md.
+
+use std::time::Duration;
+
+use pipe_server::{http_request, spawn, ServerConfig};
+
+fn main() {
+    let timeout = Duration::from_secs(30);
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+    println!("serving on {addr}");
+
+    // The body mirrors the pipe-sim flags: a PIPE engine with a 64-byte
+    // cache over a small synthetic loop workload.
+    let body = "{\"workload\":\"tight-loop\",\"body\":6,\"trips\":30,\
+                \"fetch\":\"pipe\",\"cache\":64,\"line\":16}";
+    for attempt in 1..=2 {
+        let response = http_request(&addr, "POST", "/v1/simulate", Some(body), timeout)
+            .expect("simulate request");
+        println!(
+            "simulate #{attempt}: {} (source {}, cache {})",
+            response.status,
+            response.header("x-pipe-source").unwrap_or("?"),
+            response.header("x-pipe-cache").unwrap_or("?"),
+        );
+        println!("  {}", response.body_text());
+    }
+
+    let metrics = http_request(&addr, "GET", "/metrics", None, timeout).expect("metrics");
+    let interesting = metrics
+        .body_text()
+        .lines()
+        .filter(|l| l.starts_with("pipe_serve_sim_total") || l.starts_with("pipe_serve_requests"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("metrics:\n{interesting}");
+
+    handle.shutdown(timeout).expect("graceful shutdown");
+    println!("server drained and exited");
+}
