@@ -21,6 +21,7 @@ fn main() -> ExitCode {
         Some("bench") => return bench_main(&args[1..]),
         Some("serve") => return serve_main(&args[1..]),
         Some("request") => return request_main(&args[1..]),
+        Some("cluster") => return cluster_main(&args[1..]),
         _ => {}
     }
 
@@ -252,6 +253,30 @@ fn request_main(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("pipe-sim request: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cluster_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", pipe_cli::CLUSTER_USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let command = match pipe_cli::parse_cluster_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pipe-sim cluster: {e}\n\n{}", pipe_cli::CLUSTER_USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match pipe_cli::run_cluster(&command) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pipe-sim cluster: {e}");
             ExitCode::FAILURE
         }
     }

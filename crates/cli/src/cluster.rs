@@ -1,0 +1,452 @@
+//! `pipe-sim cluster` — drive a sweep across `pipe-serve` workers.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use pipe_cluster::{check_worker, serve_metrics, ClusterOutcome, Coordinator, WorkerReport};
+use pipe_experiments::{ResultStore, SweepSpec, WorkloadSpec, ALL_FIGURES};
+use pipe_isa::InstrFormat;
+use pipe_server::{spawn, ServerConfig, ServerHandle};
+
+/// The usage string for `pipe-sim cluster`.
+pub const CLUSTER_USAGE: &str = "\
+usage: pipe-sim cluster sweep [options]
+       pipe-sim cluster status --worker ADDR [--worker ADDR ...]
+
+Shards a figure sweep across pipe-serve workers by consistent hashing
+of each point's canonical store key, merges the results into one result
+store (byte-identical regardless of topology), and fails a dead
+worker's shard over to the survivors. See docs/CLUSTER.md.
+
+worker selection (sweep and status):
+  --worker ADDR        a worker's host:port; repeatable
+  --workers-file FILE  one worker address per line (# comments allowed)
+  --spawn N            additionally spawn N local workers on ephemeral
+                       ports for the duration of the run
+  --inject-delay-ms N  spawned workers stretch every simulation by N ms
+                       (fault injection for failover testing)
+
+sweep options:
+  --figure ID          the figure panel to sweep (4a..6b; default: 4a)
+  --scale N            divide Livermore iteration counts by N (default: 1)
+  --store DIR          merged result-store root      (default: results)
+  --no-store           dispatch only; do not merge into a store
+  --resume             skip points already in the merged store
+  --jobs N             dispatch threads              (default: 4)
+  --retries N          attempts per worker per point (default: 3)
+  --backoff-ms N       initial retry backoff        (default: 50)
+  --timeout-ms N       per-request timeout          (default: 30000)
+  --metrics-addr H:P   serve the coordinator's /metrics and /healthz
+                       on this address for the duration of the run
+  --progress           per-point progress lines on stderr
+";
+
+/// Which cluster subcommand to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterCommand {
+    /// Run a sweep across the workers.
+    Sweep(ClusterSweepOptions),
+    /// Probe each worker's health and compatibility.
+    Status(ClusterStatusOptions),
+}
+
+/// Options for `pipe-sim cluster sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSweepOptions {
+    /// Figure panel id ("4a".."6b").
+    pub figure: String,
+    /// Livermore iteration-count divisor.
+    pub scale: u32,
+    /// Explicit worker addresses.
+    pub workers: Vec<String>,
+    /// Local workers to spawn for the run.
+    pub spawn: usize,
+    /// Compute delay injected into spawned workers.
+    pub inject_delay: Duration,
+    /// Merged-store root (`None` with `--no-store`).
+    pub store: Option<PathBuf>,
+    /// Skip points already merged.
+    pub resume: bool,
+    /// Dispatch threads.
+    pub jobs: usize,
+    /// Attempts per worker per point.
+    pub retries: u32,
+    /// Initial retry backoff.
+    pub backoff: Duration,
+    /// Per-request timeout.
+    pub timeout: Duration,
+    /// Address for the coordinator's own metrics listener.
+    pub metrics_addr: Option<String>,
+    /// Per-point progress lines.
+    pub progress: bool,
+}
+
+/// Options for `pipe-sim cluster status`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStatusOptions {
+    /// Worker addresses to probe.
+    pub workers: Vec<String>,
+    /// Probe timeout.
+    pub timeout: Duration,
+}
+
+/// Parses `pipe-sim cluster` arguments (excluding the subcommand name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags, missing values, or
+/// an unreadable `--workers-file`.
+pub fn parse_cluster_args(args: &[String]) -> Result<ClusterCommand, String> {
+    let Some(verb) = args.first() else {
+        return Err("no subcommand (sweep|status)".to_string());
+    };
+    let args = &args[1..];
+    match verb.as_str() {
+        "sweep" => parse_sweep(args).map(ClusterCommand::Sweep),
+        "status" => parse_status(args).map(ClusterCommand::Status),
+        other => Err(format!("unknown subcommand `{other}` (sweep|status)")),
+    }
+}
+
+fn parse_sweep(args: &[String]) -> Result<ClusterSweepOptions, String> {
+    let mut opts = ClusterSweepOptions {
+        figure: "4a".to_string(),
+        scale: 1,
+        workers: Vec::new(),
+        spawn: 0,
+        inject_delay: Duration::ZERO,
+        store: Some(PathBuf::from("results")),
+        resume: false,
+        jobs: 4,
+        retries: 3,
+        backoff: Duration::from_millis(50),
+        timeout: Duration::from_secs(30),
+        metrics_addr: None,
+        progress: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--figure" => {
+                let id = it.next().ok_or("--figure needs an id (4a..6b)")?;
+                if !ALL_FIGURES.contains(&id.as_str()) {
+                    return Err(format!("unknown figure `{id}` (4a..6b)"));
+                }
+                opts.figure = id.clone();
+            }
+            "--scale" => opts.scale = parse_u32("--scale", it.next())?.max(1),
+            "--worker" => opts
+                .workers
+                .push(it.next().ok_or("--worker needs host:port")?.clone()),
+            "--workers-file" => read_workers_file(it.next(), &mut opts.workers)?,
+            "--spawn" => opts.spawn = parse_u32("--spawn", it.next())? as usize,
+            "--inject-delay-ms" => {
+                opts.inject_delay =
+                    Duration::from_millis(parse_u64("--inject-delay-ms", it.next())?)
+            }
+            "--store" => {
+                opts.store = Some(PathBuf::from(it.next().ok_or("--store needs a directory")?))
+            }
+            "--no-store" => opts.store = None,
+            "--resume" => opts.resume = true,
+            "--jobs" => opts.jobs = parse_u32("--jobs", it.next())?.max(1) as usize,
+            "--retries" => opts.retries = parse_u32("--retries", it.next())?.max(1),
+            "--backoff-ms" => {
+                opts.backoff = Duration::from_millis(parse_u64("--backoff-ms", it.next())?)
+            }
+            "--timeout-ms" => {
+                opts.timeout = Duration::from_millis(parse_u64("--timeout-ms", it.next())?.max(1))
+            }
+            "--metrics-addr" => {
+                opts.metrics_addr = Some(it.next().ok_or("--metrics-addr needs host:port")?.clone())
+            }
+            "--progress" => opts.progress = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.workers.is_empty() && opts.spawn == 0 {
+        return Err("no workers (use --worker, --workers-file, or --spawn)".to_string());
+    }
+    Ok(opts)
+}
+
+fn parse_status(args: &[String]) -> Result<ClusterStatusOptions, String> {
+    let mut opts = ClusterStatusOptions {
+        workers: Vec::new(),
+        timeout: Duration::from_secs(5),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--worker" => opts
+                .workers
+                .push(it.next().ok_or("--worker needs host:port")?.clone()),
+            "--workers-file" => read_workers_file(it.next(), &mut opts.workers)?,
+            "--timeout-ms" => {
+                opts.timeout = Duration::from_millis(parse_u64("--timeout-ms", it.next())?.max(1))
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.workers.is_empty() {
+        return Err("no workers (use --worker or --workers-file)".to_string());
+    }
+    Ok(opts)
+}
+
+fn read_workers_file(path: Option<&String>, workers: &mut Vec<String>) -> Result<(), String> {
+    let path = path.ok_or("--workers-file needs a file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.is_empty() && !line.starts_with('#') {
+            workers.push(line.to_string());
+        }
+    }
+    Ok(())
+}
+
+fn parse_u32(flag: &str, value: Option<&String>) -> Result<u32, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid number `{v}`"))
+}
+
+fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid number `{v}`"))
+}
+
+/// Runs a cluster subcommand; returns the report text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the run cannot start (no workers,
+/// incompatible workers, unbindable metrics address) or — for `sweep` —
+/// when points failed (after printing what completed).
+pub fn run_cluster(command: &ClusterCommand) -> Result<String, String> {
+    match command {
+        ClusterCommand::Sweep(opts) => run_cluster_sweep(opts),
+        ClusterCommand::Status(opts) => Ok(run_cluster_status(opts)),
+    }
+}
+
+fn run_cluster_sweep(opts: &ClusterSweepOptions) -> Result<String, String> {
+    // Spawn local workers first so their addresses join the ring.
+    let mut spawned: Vec<ServerHandle> = Vec::new();
+    let mut addrs = opts.workers.clone();
+    for _ in 0..opts.spawn {
+        let handle = spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            compute_delay: opts.inject_delay,
+            ..ServerConfig::default()
+        })
+        .map_err(|e| format!("cannot spawn a local worker: {e}"))?;
+        eprintln!("[cluster] spawned local worker on {}", handle.addr());
+        addrs.push(handle.addr().to_string());
+        spawned.push(handle);
+    }
+
+    let mut spec = SweepSpec::figure(&opts.figure);
+    if opts.scale > 1 {
+        spec.workload = WorkloadSpec::Livermore {
+            format: InstrFormat::Fixed32,
+            scale: opts.scale,
+        };
+    }
+
+    let mut coordinator = Coordinator::new(addrs)
+        .jobs(opts.jobs)
+        .retry(opts.retries, opts.backoff)
+        .timeout(opts.timeout)
+        .resume(opts.resume)
+        .progress(opts.progress);
+    if let Some(root) = &opts.store {
+        let store = ResultStore::open(root)
+            .map_err(|e| format!("cannot open store {}: {e}", root.display()))?;
+        coordinator = coordinator.store(store);
+    }
+
+    let metrics_server = match &opts.metrics_addr {
+        Some(addr) => {
+            let server = serve_metrics(addr, coordinator.metrics())
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            eprintln!("[cluster] metrics on http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+
+    let result = coordinator.run(&spec);
+
+    if let Some(server) = metrics_server {
+        server.shutdown();
+    }
+    for handle in spawned {
+        let _ = handle.shutdown(opts.timeout);
+    }
+
+    let outcome = result.map_err(|e| e.to_string())?;
+    let report = render_outcome(&spec.id, &outcome);
+    if outcome.is_complete() {
+        Ok(report)
+    } else {
+        // Print what completed, then fail the process.
+        print!("{report}");
+        Err(format!(
+            "{} point(s) failed; first: {}",
+            outcome.failed.len(),
+            outcome.failed[0]
+        ))
+    }
+}
+
+/// Renders the sweep summary and the per-worker shard/latency table.
+fn render_outcome(id: &str, outcome: &ClusterOutcome) -> String {
+    let mut out = format!(
+        "cluster sweep {id}: {} completed ({} worker cache hits), {} cached, \
+         {} failed in {:.2}s{}\n\n",
+        outcome.completed,
+        outcome.worker_cache_hits,
+        outcome.cached,
+        outcome.failed.len(),
+        outcome.wall.as_secs_f64(),
+        if outcome.store_degraded {
+            " [store degraded]"
+        } else {
+            ""
+        },
+    );
+    out.push_str(&format!(
+        "{:<22} {:<5} {:>8} {:>9} {:>7} {:>11} {:>7} {:>7}\n",
+        "worker", "alive", "assigned", "completed", "retried", "failed-over", "mean-ms", "max-ms"
+    ));
+    for w in &outcome.workers {
+        out.push_str(&render_worker_row(w));
+    }
+    for failed in &outcome.failed {
+        out.push_str(&format!("FAILED {failed}\n"));
+    }
+    out
+}
+
+fn render_worker_row(w: &WorkerReport) -> String {
+    format!(
+        "{:<22} {:<5} {:>8} {:>9} {:>7} {:>11} {:>7} {:>7}\n",
+        w.addr,
+        if w.alive { "yes" } else { "DEAD" },
+        w.assigned,
+        w.completed,
+        w.retried,
+        w.failed_over,
+        w.mean_ms(),
+        w.max_ms,
+    )
+}
+
+fn run_cluster_status(opts: &ClusterStatusOptions) -> String {
+    let mut out = format!(
+        "{:<22} {:<12} {:<10} {:>7} {:>9}  {}\n",
+        "worker", "status", "version", "workers", "store", "detail"
+    );
+    for addr in &opts.workers {
+        match check_worker(addr, opts.timeout) {
+            Ok(info) => out.push_str(&format!(
+                "{:<22} {:<12} {:<10} {:>7} {:>9}  store v{}\n",
+                addr, "ok", info.version, info.workers, info.store_keys, info.store_version
+            )),
+            Err(e) => out.push_str(&format!(
+                "{:<22} {:<12} {:<10} {:>7} {:>9}  {e}\n",
+                addr, "UNAVAILABLE", "-", "-", "-"
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn sweep_defaults_and_flags() {
+        let ClusterCommand::Sweep(opts) = parse_cluster_args(&to_args(&[
+            "sweep",
+            "--figure",
+            "5b",
+            "--scale",
+            "20",
+            "--worker",
+            "10.0.0.1:7878",
+            "--worker",
+            "10.0.0.2:7878",
+            "--jobs",
+            "8",
+            "--retries",
+            "5",
+            "--backoff-ms",
+            "10",
+            "--timeout-ms",
+            "2000",
+            "--resume",
+            "--progress",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ]))
+        .unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(opts.figure, "5b");
+        assert_eq!(opts.scale, 20);
+        assert_eq!(opts.workers.len(), 2);
+        assert_eq!(opts.jobs, 8);
+        assert_eq!(opts.retries, 5);
+        assert_eq!(opts.backoff, Duration::from_millis(10));
+        assert_eq!(opts.timeout, Duration::from_secs(2));
+        assert!(opts.resume && opts.progress);
+        assert_eq!(opts.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.store.as_deref(), Some("results".as_ref()));
+    }
+
+    #[test]
+    fn sweep_requires_workers_and_valid_figure() {
+        assert!(parse_cluster_args(&to_args(&["sweep"])).is_err());
+        assert!(
+            parse_cluster_args(&to_args(&["sweep", "--figure", "9z", "--spawn", "2"])).is_err()
+        );
+        assert!(parse_cluster_args(&to_args(&["sweep", "--spawn", "2"])).is_ok());
+        assert!(parse_cluster_args(&to_args(&["teleport"])).is_err());
+        assert!(parse_cluster_args(&[]).is_err());
+    }
+
+    #[test]
+    fn workers_file_skips_comments_and_blanks() {
+        let path = std::env::temp_dir().join(format!("pipe-workers-{}.txt", std::process::id()));
+        std::fs::write(&path, "# fleet\n127.0.0.1:1\n\n  127.0.0.1:2  \n").unwrap();
+        let ClusterCommand::Status(opts) = parse_cluster_args(&to_args(&[
+            "status",
+            "--workers-file",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap() else {
+            panic!("expected status");
+        };
+        assert_eq!(opts.workers, vec!["127.0.0.1:1", "127.0.0.1:2"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn status_renders_unreachable_workers() {
+        let opts = ClusterStatusOptions {
+            workers: vec!["127.0.0.1:1".to_string()],
+            timeout: Duration::from_millis(200),
+        };
+        let out = run_cluster_status(&opts);
+        assert!(out.contains("UNAVAILABLE"), "{out}");
+    }
+}

@@ -17,9 +17,14 @@ use pipe_isa::InstrFormat;
 use pipe_mem::{MemConfig, PriorityPolicy};
 
 mod bench;
+mod cluster;
 mod serve;
 
 pub use bench::{parse_bench_args, run_bench, BenchOptions, BENCH_USAGE};
+pub use cluster::{
+    parse_cluster_args, run_cluster, ClusterCommand, ClusterStatusOptions, ClusterSweepOptions,
+    CLUSTER_USAGE,
+};
 pub use serve::{
     parse_request_args, parse_serve_args, run_request, run_serve, RequestOptions, ServeOptions,
     REQUEST_USAGE, SERVE_USAGE,
@@ -79,6 +84,7 @@ usage: pipe-sim <program.s> [options]
        pipe-sim store prune [--dry-run] [--store DIR]
        pipe-sim serve [options]               (see pipe-sim serve --help)
        pipe-sim request <endpoint> [options]  (see pipe-sim request --help)
+       pipe-sim cluster sweep|status [...]    (see pipe-sim cluster --help)
 
 fetch strategy:
   --fetch pipe|conventional|tib|buffers|perfect   (default: pipe)

@@ -4,6 +4,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use pipe_experiments::{backoff::Retry, BackoffPolicy};
 use pipe_server::{http_request, Server, ServerConfig};
 
 /// The usage string for `pipe-sim serve`.
@@ -14,6 +15,7 @@ Serves the simulator over HTTP (std-only; see docs/SERVICE.md):
   POST /v1/simulate     one fetch configuration -> stats JSON
   POST /v1/sweep        a figure-shaped sweep via the sweep engine
   GET  /v1/workloads    resident decoded programs
+  GET  /v1/info         version, thread count, store compatibility
   GET  /metrics         Prometheus-style text metrics
   GET  /healthz         liveness
   POST /admin/shutdown  graceful drain and exit
@@ -155,6 +157,11 @@ options:
   --data JSON          use JSON as the request body
   --timeout-ms N       client timeout               (default: 30000)
   --include            print the status line and headers before the body
+  --retry N            total attempts when the server is unreachable or
+                       answers 503/504; a 503's Retry-After header
+                       overrides the backoff delay  (default: 1, no retry)
+  --backoff-ms N       initial retry delay, doubling per attempt
+                       (default: 100)
 ";
 
 /// Options for `pipe-sim request`.
@@ -170,6 +177,10 @@ pub struct RequestOptions {
     pub timeout: Duration,
     /// Print status and headers before the body.
     pub include: bool,
+    /// Total attempts for transient failures (1 = no retry).
+    pub retry: u32,
+    /// Initial retry delay (doubles per attempt).
+    pub backoff: Duration,
 }
 
 /// Parses `pipe-sim request` arguments (excluding the subcommand name).
@@ -184,6 +195,8 @@ pub fn parse_request_args(args: &[String]) -> Result<RequestOptions, String> {
     let mut body = None;
     let mut timeout = Duration::from_secs(30);
     let mut include = false;
+    let mut retry = 1u32;
+    let mut backoff = Duration::from_millis(100);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -198,6 +211,10 @@ pub fn parse_request_args(args: &[String]) -> Result<RequestOptions, String> {
             "--data" => body = Some(it.next().ok_or("--data needs a JSON body")?.clone()),
             "--timeout-ms" => timeout = Duration::from_millis(parse_ms("--timeout-ms", it.next())?),
             "--include" => include = true,
+            "--retry" => retry = parse_count("--retry", it.next())? as u32,
+            "--backoff-ms" => {
+                backoff = Duration::from_millis(parse_ms("--backoff-ms", it.next())?);
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             path => {
                 if endpoint.is_some() {
@@ -219,16 +236,32 @@ pub fn parse_request_args(args: &[String]) -> Result<RequestOptions, String> {
         body,
         timeout,
         include,
+        retry,
+        backoff,
     })
 }
 
-/// Performs the request. Returns the text to print and whether the
+/// Why one attempt of `pipe-sim request` did not return a usable
+/// response: a transport failure, or a `503`/`504` worth retrying. The
+/// busy case carries the rendered response so an exhausted retry still
+/// prints the server's final answer.
+enum RequestFail {
+    Transport(String),
+    Busy {
+        rendered: (String, bool),
+        retry_after: Option<Duration>,
+    },
+}
+
+/// Performs the request, retrying transport failures and 503/504 up to
+/// `--retry` times with exponential backoff (a `Retry-After` header
+/// overrides the delay). Returns the text to print and whether the
 /// status was 2xx (the process exit status).
 ///
 /// # Errors
 ///
-/// Returns a user-facing message when the server is unreachable or the
-/// response is not HTTP.
+/// Returns a user-facing message when the server stays unreachable (or
+/// keeps answering non-HTTP) through every attempt.
 pub fn run_request(opts: &RequestOptions) -> Result<(String, bool), String> {
     let method = if opts.body.is_some()
         || matches!(
@@ -239,14 +272,60 @@ pub fn run_request(opts: &RequestOptions) -> Result<(String, bool), String> {
     } else {
         "GET"
     };
-    let response = http_request(
-        &opts.addr,
-        method,
-        &opts.endpoint,
-        opts.body.as_deref(),
-        opts.timeout,
-    )
-    .map_err(|e| format!("request to {} failed: {e}", opts.addr))?;
+    let result = BackoffPolicy::new(opts.retry, opts.backoff).run(
+        |_attempt| {
+            let response = http_request(
+                &opts.addr,
+                method,
+                &opts.endpoint,
+                opts.body.as_deref(),
+                opts.timeout,
+            )
+            .map_err(|e| RequestFail::Transport(format!("request to {} failed: {e}", opts.addr)))?;
+            let rendered = render_response(opts, &response);
+            if matches!(response.status, 503 | 504) {
+                let retry_after = response
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(Duration::from_secs);
+                return Err(RequestFail::Busy {
+                    rendered,
+                    retry_after,
+                });
+            }
+            Ok(rendered)
+        },
+        |attempt, err| match err {
+            RequestFail::Transport(e) => {
+                eprintln!("pipe-sim request: attempt {attempt}: {e}; retrying");
+                Retry::After(None)
+            }
+            RequestFail::Busy { retry_after, .. } => {
+                eprintln!(
+                    "pipe-sim request: attempt {attempt}: server busy{}; retrying",
+                    match retry_after {
+                        Some(d) => format!(" (Retry-After {}s)", d.as_secs()),
+                        None => String::new(),
+                    }
+                );
+                Retry::After(*retry_after)
+            }
+        },
+    );
+    match result {
+        Ok(rendered) => Ok(rendered),
+        // Out of retries while the server was still busy: print its last
+        // answer and exit nonzero, like any other non-2xx response.
+        Err(RequestFail::Busy { rendered, .. }) => Ok(rendered),
+        Err(RequestFail::Transport(e)) => Err(e),
+    }
+}
+
+/// Renders a response per the `--include` setting; the bool is "2xx".
+fn render_response(
+    opts: &RequestOptions,
+    response: &pipe_server::ClientResponse,
+) -> (String, bool) {
     let mut out = String::new();
     if opts.include {
         out.push_str(&format!(
@@ -263,7 +342,7 @@ pub fn run_request(opts: &RequestOptions) -> Result<(String, bool), String> {
     if !out.ends_with('\n') {
         out.push('\n');
     }
-    Ok((out, (200..300).contains(&response.status)))
+    (out, (200..300).contains(&response.status))
 }
 
 #[cfg(test)]
@@ -342,5 +421,34 @@ mod tests {
     fn request_requires_an_endpoint() {
         assert!(parse_request_args(&[]).is_err());
         assert!(parse_request_args(&to_args(&["/a", "/b"])).is_err());
+    }
+
+    #[test]
+    fn request_retry_flags() {
+        let opts = parse_request_args(&to_args(&["/metrics", "--retry", "3", "--backoff-ms", "5"]))
+            .unwrap();
+        assert_eq!(opts.retry, 3);
+        assert_eq!(opts.backoff, Duration::from_millis(5));
+        // Default is a single attempt.
+        let opts = parse_request_args(&to_args(&["/metrics"])).unwrap();
+        assert_eq!(opts.retry, 1);
+        assert_eq!(opts.backoff, Duration::from_millis(100));
+        assert!(parse_request_args(&to_args(&["/metrics", "--retry", "0"])).is_err());
+        assert!(parse_request_args(&to_args(&["/metrics", "--backoff-ms"])).is_err());
+    }
+
+    #[test]
+    fn request_transport_exhaustion_is_an_error() {
+        let opts = RequestOptions {
+            endpoint: "/healthz".to_string(),
+            addr: "127.0.0.1:1".to_string(),
+            body: None,
+            timeout: Duration::from_millis(200),
+            include: false,
+            retry: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let err = run_request(&opts).unwrap_err();
+        assert!(err.contains("failed"), "{err}");
     }
 }

@@ -1,0 +1,37 @@
+//! # pipe-cluster
+//!
+//! A distributed sweep fabric over `pipe-serve` workers: one
+//! [`Coordinator`] decomposes a [`SweepSpec`](pipe_experiments::SweepSpec)
+//! into points, consistent-hashes each point's canonical store key onto
+//! the registered workers, dispatches over the workers' existing HTTP
+//! API, and merges the responses into a single
+//! [`ResultStore`](pipe_experiments::ResultStore) — so any node's work
+//! is a byte-identical cache hit everywhere.
+//!
+//! | layer | module |
+//! |---|---|
+//! | consistent-hash ring (virtual nodes, failover walk) | [`ring`] |
+//! | worker registration, health checks, accounting | [`worker`] |
+//! | shard / dispatch / retry / fail over / merge | [`coordinator`] |
+//! | Prometheus counters + `/metrics` listener | [`metrics`] |
+//!
+//! Robustness is first-class: workers are health-checked against
+//! `/healthz` and version-checked against `/v1/info` before dispatch,
+//! every request retries with the shared
+//! [`BackoffPolicy`](pipe_experiments::BackoffPolicy) (honouring
+//! `Retry-After`), and a worker that dies mid-sweep has its shard
+//! rehashed onto the survivors. A degraded run reports a typed partial
+//! [`ClusterOutcome`] instead of aborting.
+//!
+//! The `pipe-sim cluster` subcommands drive this from the command line;
+//! `docs/CLUSTER.md` describes the topology and failure semantics.
+
+pub mod coordinator;
+pub mod metrics;
+pub mod ring;
+pub mod worker;
+
+pub use coordinator::{ClusterError, ClusterOutcome, Coordinator, FailedPoint};
+pub use metrics::{serve_metrics, ClusterMetrics, MetricsServer};
+pub use ring::HashRing;
+pub use worker::{check_worker, WorkerError, WorkerInfo, WorkerReport, WorkerState};

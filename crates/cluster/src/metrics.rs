@@ -1,0 +1,250 @@
+//! Coordinator metrics, rendered in the Prometheus text format on the
+//! coordinator's own `/metrics` listener.
+//!
+//! Reuses the lock-free [`Counter`] primitives of `pipe-server` with
+//! per-worker labels: points dispatched, request retries, and failovers
+//! for every worker, plus run-level completion counters and a shard
+//! imbalance gauge (max − min points assigned across workers, computed
+//! from the live counters at render time).
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pipe_server::http::read_request;
+use pipe_server::metrics::Counter;
+use pipe_server::Response;
+
+/// Per-worker dispatch counters.
+#[derive(Debug)]
+pub struct WorkerCounters {
+    /// The worker's `host:port`, used as the metric label.
+    pub addr: String,
+    /// Points dispatched to this worker (first assignment or failover).
+    pub dispatched: Counter,
+    /// Request retries against this worker.
+    pub retried: Counter,
+    /// Points moved away from this worker after it died.
+    pub failed_over: Counter,
+}
+
+/// All live counters of one coordinator.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    /// One counter set per registered worker, ring order.
+    pub workers: Vec<WorkerCounters>,
+    /// Points answered successfully (any worker).
+    pub points_completed: Counter,
+    /// Points that failed on every eligible worker.
+    pub points_failed: Counter,
+    /// Points satisfied from the coordinator's merged store.
+    pub points_cached: Counter,
+    /// Workers declared dead during the run.
+    pub workers_dead: Counter,
+}
+
+impl ClusterMetrics {
+    /// Fresh counters for the given worker addresses.
+    pub fn new(addrs: &[String]) -> ClusterMetrics {
+        ClusterMetrics {
+            workers: addrs
+                .iter()
+                .map(|addr| WorkerCounters {
+                    addr: addr.clone(),
+                    dispatched: Counter::default(),
+                    retried: Counter::default(),
+                    failed_over: Counter::default(),
+                })
+                .collect(),
+            points_completed: Counter::default(),
+            points_failed: Counter::default(),
+            points_cached: Counter::default(),
+            workers_dead: Counter::default(),
+        }
+    }
+
+    /// Max − min points dispatched across workers: 0 means a perfectly
+    /// even shard.
+    pub fn shard_imbalance(&self) -> u64 {
+        let counts: Vec<u64> = self.workers.iter().map(|w| w.dispatched.get()).collect();
+        match (counts.iter().max(), counts.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("# TYPE pipe_cluster_points_dispatched_total counter\n");
+        for w in &self.workers {
+            out.push_str(&format!(
+                "pipe_cluster_points_dispatched_total{{worker=\"{}\"}} {}\n",
+                w.addr,
+                w.dispatched.get()
+            ));
+        }
+        out.push_str("# TYPE pipe_cluster_retries_total counter\n");
+        for w in &self.workers {
+            out.push_str(&format!(
+                "pipe_cluster_retries_total{{worker=\"{}\"}} {}\n",
+                w.addr,
+                w.retried.get()
+            ));
+        }
+        out.push_str("# TYPE pipe_cluster_failovers_total counter\n");
+        for w in &self.workers {
+            out.push_str(&format!(
+                "pipe_cluster_failovers_total{{worker=\"{}\"}} {}\n",
+                w.addr,
+                w.failed_over.get()
+            ));
+        }
+        out.push_str("# TYPE pipe_cluster_points_total counter\n");
+        for (outcome, counter) in [
+            ("completed", &self.points_completed),
+            ("failed", &self.points_failed),
+            ("cached", &self.points_cached),
+        ] {
+            out.push_str(&format!(
+                "pipe_cluster_points_total{{outcome=\"{outcome}\"}} {}\n",
+                counter.get()
+            ));
+        }
+        out.push_str("# TYPE pipe_cluster_workers_dead_total counter\n");
+        out.push_str(&format!(
+            "pipe_cluster_workers_dead_total {}\n",
+            self.workers_dead.get()
+        ));
+        out.push_str("# TYPE pipe_cluster_shard_imbalance gauge\n");
+        out.push_str(&format!(
+            "pipe_cluster_shard_imbalance {}\n",
+            self.shard_imbalance()
+        ));
+        out
+    }
+}
+
+/// A minimal metrics listener: `GET /metrics` and `GET /healthz`, one
+/// request per connection, same HTTP machinery as the workers.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Self-connect to unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+/// Binds and serves the coordinator metrics endpoint on a background
+/// thread.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_metrics(addr: &str, metrics: Arc<ClusterMetrics>) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let mut reader = BufReader::new(stream);
+            let response = match read_request(&mut reader) {
+                Ok(req) => match (req.method.as_str(), req.path.as_str()) {
+                    ("GET", "/metrics") => Response::text(200, metrics.render()),
+                    ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+                    (_, path) => Response::error(404, &format!("no such endpoint: {path}")),
+                },
+                Err(_) => continue,
+            };
+            let mut stream = reader.into_inner();
+            let _ = response.write_to(&mut stream);
+        }
+    });
+    Ok(MetricsServer { addr, stop, thread })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn addrs() -> Vec<String> {
+        vec!["10.0.0.1:1".to_string(), "10.0.0.2:2".to_string()]
+    }
+
+    #[test]
+    fn render_covers_every_family_with_worker_labels() {
+        let m = ClusterMetrics::new(&addrs());
+        m.workers[0].dispatched.inc();
+        m.workers[0].dispatched.inc();
+        m.workers[1].retried.inc();
+        m.points_completed.inc();
+        let text = m.render();
+        for needle in [
+            "pipe_cluster_points_dispatched_total{worker=\"10.0.0.1:1\"} 2\n",
+            "pipe_cluster_points_dispatched_total{worker=\"10.0.0.2:2\"} 0\n",
+            "pipe_cluster_retries_total{worker=\"10.0.0.2:2\"} 1\n",
+            "pipe_cluster_failovers_total{worker=\"10.0.0.1:1\"} 0\n",
+            "pipe_cluster_points_total{outcome=\"completed\"} 1\n",
+            "pipe_cluster_points_total{outcome=\"cached\"} 0\n",
+            "pipe_cluster_workers_dead_total 0\n",
+            "pipe_cluster_shard_imbalance 2\n",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn imbalance_is_max_minus_min() {
+        let m = ClusterMetrics::new(&addrs());
+        assert_eq!(m.shard_imbalance(), 0);
+        for _ in 0..5 {
+            m.workers[0].dispatched.inc();
+        }
+        m.workers[1].dispatched.inc();
+        assert_eq!(m.shard_imbalance(), 4);
+        assert_eq!(ClusterMetrics::new(&[]).shard_imbalance(), 0);
+    }
+
+    #[test]
+    fn listener_serves_metrics_and_healthz() {
+        let metrics = Arc::new(ClusterMetrics::new(&addrs()));
+        metrics.points_completed.inc();
+        let server = serve_metrics("127.0.0.1:0", Arc::clone(&metrics)).unwrap();
+        let addr = server.addr().to_string();
+        let timeout = Duration::from_secs(5);
+
+        let health = pipe_server::http_request(&addr, "GET", "/healthz", None, timeout).unwrap();
+        assert_eq!(health.status, 200);
+        let scraped = pipe_server::http_request(&addr, "GET", "/metrics", None, timeout).unwrap();
+        assert_eq!(scraped.status, 200);
+        assert!(scraped
+            .body_text()
+            .contains("pipe_cluster_points_total{outcome=\"completed\"} 1\n"));
+        let missing = pipe_server::http_request(&addr, "GET", "/nope", None, timeout).unwrap();
+        assert_eq!(missing.status, 404);
+
+        server.shutdown();
+        assert!(pipe_server::http_request(&addr, "GET", "/healthz", None, timeout).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Worker registration, health checking, and per-worker accounting.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use pipe_experiments::json::{field_str, field_u64};
+use pipe_experiments::store::STORE_VERSION;
+use pipe_server::http_request;
+
+/// What `GET /v1/info` reports about one worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerInfo {
+    /// The worker's crate version string.
+    pub version: String,
+    /// The result-store layout version the worker speaks.
+    pub store_version: u64,
+    /// Request-handling threads on the worker.
+    pub workers: usize,
+    /// Entries in the worker's local result store.
+    pub store_keys: u64,
+}
+
+/// Why a worker failed its registration checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerError {
+    /// `/healthz` or `/v1/info` could not be reached.
+    Unreachable(String),
+    /// The worker answered, but not with a compatible `/v1/info` — an
+    /// older server build, or a different store layout version.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Unreachable(m) => write!(f, "unreachable: {m}"),
+            WorkerError::Incompatible(m) => write!(f, "incompatible: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+/// Probes one worker: `/healthz` for liveness, then `/v1/info` for
+/// compatibility (the endpoint must exist and report the coordinator's
+/// store layout version, or merged results would not be byte-compatible).
+///
+/// # Errors
+///
+/// [`WorkerError::Unreachable`] when either endpoint cannot be fetched,
+/// [`WorkerError::Incompatible`] when `/v1/info` is missing or reports a
+/// different store version.
+pub fn check_worker(addr: &str, timeout: Duration) -> Result<WorkerInfo, WorkerError> {
+    let health = http_request(addr, "GET", "/healthz", None, timeout)
+        .map_err(|e| WorkerError::Unreachable(e.to_string()))?;
+    if health.status != 200 {
+        return Err(WorkerError::Unreachable(format!(
+            "/healthz returned {}",
+            health.status
+        )));
+    }
+    let info = http_request(addr, "GET", "/v1/info", None, timeout)
+        .map_err(|e| WorkerError::Unreachable(e.to_string()))?;
+    if info.status != 200 {
+        return Err(WorkerError::Incompatible(format!(
+            "/v1/info returned {} (pre-cluster server build?)",
+            info.status
+        )));
+    }
+    let body = info.body_text();
+    let store_version = field_u64(&body, "store_version").ok_or_else(|| {
+        WorkerError::Incompatible("/v1/info body lacks store_version".to_string())
+    })?;
+    if store_version != u64::from(STORE_VERSION) {
+        return Err(WorkerError::Incompatible(format!(
+            "store layout v{store_version}, coordinator speaks v{STORE_VERSION}"
+        )));
+    }
+    Ok(WorkerInfo {
+        version: field_str(&body, "version").unwrap_or_default(),
+        store_version,
+        workers: field_u64(&body, "workers").unwrap_or(0) as usize,
+        store_keys: field_u64(&body, "store_keys").unwrap_or(0),
+    })
+}
+
+/// Live per-worker accounting, updated lock-free by the dispatch
+/// threads.
+#[derive(Debug)]
+pub struct WorkerState {
+    /// The worker's `host:port` address.
+    pub addr: String,
+    alive: AtomicBool,
+    /// Points first assigned to this worker by the ring.
+    pub assigned: AtomicU64,
+    /// Points this worker answered successfully.
+    pub completed: AtomicU64,
+    /// Retries of individual requests against this worker.
+    pub retried: AtomicU64,
+    /// Points re-hashed *away* from this worker after it died.
+    pub failed_over: AtomicU64,
+    /// Total request latency (successful requests), milliseconds.
+    pub total_ms: AtomicU64,
+    /// Worst successful request latency, milliseconds.
+    pub max_ms: AtomicU64,
+}
+
+impl WorkerState {
+    /// A fresh, alive worker.
+    pub fn new(addr: String) -> WorkerState {
+        WorkerState {
+            addr,
+            alive: AtomicBool::new(true),
+            assigned: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            failed_over: AtomicU64::new(0),
+            total_ms: AtomicU64::new(0),
+            max_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the worker is still taking assignments.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Marks the worker dead; returns whether this call was the one that
+    /// killed it (for counting each death once).
+    pub fn mark_dead(&self) -> bool {
+        self.alive.swap(false, Ordering::Relaxed)
+    }
+
+    /// Records one successful request of `ms` milliseconds.
+    pub fn record_success(&self, ms: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.total_ms.fetch_add(ms, Ordering::Relaxed);
+        self.max_ms.fetch_max(ms, Ordering::Relaxed);
+    }
+
+    /// Snapshot for reports.
+    pub fn report(&self) -> WorkerReport {
+        WorkerReport {
+            addr: self.addr.clone(),
+            alive: self.is_alive(),
+            assigned: self.assigned.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            failed_over: self.failed_over.load(Ordering::Relaxed),
+            total_ms: self.total_ms.load(Ordering::Relaxed),
+            max_ms: self.max_ms.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One worker's shard and latency statistics after a cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The worker's `host:port` address.
+    pub addr: String,
+    /// Whether the worker was still alive at the end of the run.
+    pub alive: bool,
+    /// Points the ring first assigned to this worker.
+    pub assigned: u64,
+    /// Points this worker answered successfully.
+    pub completed: u64,
+    /// Request retries against this worker.
+    pub retried: u64,
+    /// Points re-hashed away after this worker died.
+    pub failed_over: u64,
+    /// Total successful-request latency, milliseconds.
+    pub total_ms: u64,
+    /// Worst successful-request latency, milliseconds.
+    pub max_ms: u64,
+}
+
+impl WorkerReport {
+    /// Mean successful-request latency in milliseconds (0 when idle).
+    pub fn mean_ms(&self) -> u64 {
+        self.total_ms.checked_div(self.completed).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_counts_and_reports() {
+        let w = WorkerState::new("127.0.0.1:9999".to_string());
+        assert!(w.is_alive());
+        w.assigned.fetch_add(3, Ordering::Relaxed);
+        w.record_success(10);
+        w.record_success(30);
+        assert!(w.mark_dead(), "first kill observes the worker alive");
+        let report = w.report();
+        assert_eq!(report.assigned, 3);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.mean_ms(), 20);
+        assert_eq!(report.max_ms, 30);
+        assert!(!report.alive);
+    }
+
+    #[test]
+    fn mark_dead_reports_the_first_kill_once() {
+        let w = WorkerState::new("x".to_string());
+        // swap returns the previous value: true exactly once.
+        assert!(w.mark_dead());
+        assert!(!w.mark_dead());
+        assert!(!w.is_alive());
+    }
+
+    #[test]
+    fn unreachable_worker_is_a_typed_error() {
+        // Nothing listens on this port (reserved, unroutable quickly on
+        // loopback refused connection).
+        let err = check_worker("127.0.0.1:1", Duration::from_millis(500)).unwrap_err();
+        assert!(matches!(err, WorkerError::Unreachable(_)), "{err}");
+    }
+}

@@ -1,0 +1,217 @@
+//! End-to-end cluster tests: real `pipe-serve` workers on ephemeral
+//! ports, a coordinator sharding a sweep across them, and byte-level
+//! comparison of the merged stores.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use pipe_cluster::Coordinator;
+use pipe_experiments::{ResultStore, StrategyKind, SweepSpec, WorkloadSpec};
+use pipe_icache::PrefetchPolicy;
+use pipe_isa::InstrFormat;
+use pipe_mem::{MemConfig, PriorityPolicy};
+use pipe_server::{spawn, ServerConfig, ServerHandle};
+
+fn spawn_worker(compute_delay: Duration) -> ServerHandle {
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        compute_delay,
+        ..ServerConfig::default()
+    })
+    .expect("worker binds an ephemeral port")
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pipe-cluster-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every store entry under `root`, file name -> bytes.
+fn snapshot(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    let dir = root.join("store").join("v1");
+    let mut entries = BTreeMap::new();
+    for entry in std::fs::read_dir(&dir).expect("store directory exists") {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        entries.insert(name, std::fs::read(entry.path()).unwrap());
+    }
+    entries
+}
+
+/// A sweep covering every strategy mapping (conventional, PIPE, TIB)
+/// and the expressible memory fields (access, bus, pipelined,
+/// data-first) over a fast synthetic workload.
+fn spec() -> SweepSpec {
+    SweepSpec {
+        id: "cluster-e2e".to_string(),
+        strategies: vec![
+            StrategyKind::Conventional,
+            StrategyKind::Pipe8x8,
+            StrategyKind::Pipe16x16,
+            StrategyKind::Pipe16x32,
+            StrategyKind::Tib16,
+        ],
+        cache_sizes: vec![16, 32, 64, 128, 256, 512],
+        mem: MemConfig {
+            access_cycles: 6,
+            in_bus_bytes: 8,
+            pipelined: true,
+            priority: PriorityPolicy::DataFirst,
+            ..MemConfig::default()
+        },
+        policy: PrefetchPolicy::TruePrefetch,
+        workload: WorkloadSpec::TightLoop {
+            body: 6,
+            trips: 30,
+            format: InstrFormat::Fixed32,
+        },
+    }
+}
+
+#[test]
+fn four_worker_store_is_byte_identical_to_single_node() {
+    let spec = spec();
+    let total = spec.expand().len();
+    let timeout = Duration::from_secs(10);
+
+    // 4-worker cluster run.
+    let workers: Vec<ServerHandle> = (0..4).map(|_| spawn_worker(Duration::ZERO)).collect();
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+    let root4 = temp_root("four");
+    let outcome = Coordinator::new(addrs)
+        .jobs(4)
+        .timeout(timeout)
+        .store(ResultStore::open(&root4).unwrap())
+        .run(&spec)
+        .unwrap();
+    assert!(outcome.is_complete(), "failed: {:?}", outcome.failed);
+    assert_eq!(outcome.completed, total);
+    assert_eq!(outcome.cached, 0);
+    assert!(!outcome.store_degraded);
+    // Every point was first-assigned exactly once, and with 64 virtual
+    // nodes each worker owns a share.
+    let assigned: u64 = outcome.workers.iter().map(|w| w.assigned).sum();
+    assert_eq!(assigned, total as u64);
+    assert!(
+        outcome.workers.iter().all(|w| w.assigned > 0),
+        "shard shares: {:?}",
+        outcome.workers
+    );
+
+    // Single-node run into a fresh store.
+    let single = spawn_worker(Duration::ZERO);
+    let root1 = temp_root("one");
+    let outcome1 = Coordinator::new(vec![single.addr().to_string()])
+        .jobs(4)
+        .timeout(timeout)
+        .store(ResultStore::open(&root1).unwrap())
+        .run(&spec)
+        .unwrap();
+    assert!(outcome1.is_complete());
+
+    let four = snapshot(&root4);
+    let one = snapshot(&root1);
+    assert_eq!(four.len(), total);
+    assert_eq!(
+        four, one,
+        "merged store must not depend on cluster topology"
+    );
+
+    // Any node's work is a cache hit everywhere: a resumed run against
+    // the merged store dispatches nothing.
+    let resumed = Coordinator::new(vec![single.addr().to_string()])
+        .timeout(timeout)
+        .store(ResultStore::open(&root4).unwrap())
+        .resume(true)
+        .run(&spec)
+        .unwrap();
+    assert_eq!(resumed.cached, total);
+    assert_eq!(resumed.completed, 0);
+
+    for worker in workers {
+        worker.shutdown(timeout).unwrap();
+    }
+    single.shutdown(timeout).unwrap();
+    let _ = std::fs::remove_dir_all(&root4);
+    let _ = std::fs::remove_dir_all(&root1);
+}
+
+#[test]
+fn worker_killed_mid_sweep_fails_over_and_merges_identically() {
+    let spec = spec();
+    let total = spec.expand().len();
+    let timeout = Duration::from_secs(10);
+
+    // Slow workers so the run is still in flight when the victim dies.
+    let mut workers: Vec<ServerHandle> = (0..4)
+        .map(|_| spawn_worker(Duration::from_millis(50)))
+        .collect();
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+    let victim = workers.remove(2);
+    let victim_addr = addrs[2].clone();
+
+    let root = temp_root("failover");
+    let coordinator = Coordinator::new(addrs)
+        .jobs(4)
+        .retry(2, Duration::from_millis(10))
+        .timeout(timeout)
+        .store(ResultStore::open(&root).unwrap());
+    let store_dir = root.join("store").join("v1");
+
+    let outcome = std::thread::scope(|scope| {
+        let run = scope.spawn(|| coordinator.run(&spec).unwrap());
+        // Wait until the sweep has visibly started (a few entries
+        // merged), then kill the victim mid-run.
+        for _ in 0..1000 {
+            let merged = std::fs::read_dir(&store_dir)
+                .map(|d| d.count())
+                .unwrap_or(0);
+            if merged >= 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        victim.shutdown(timeout).unwrap();
+        run.join().unwrap()
+    });
+
+    assert!(
+        outcome.is_complete(),
+        "sweep must survive a worker death: {:?}",
+        outcome.failed
+    );
+    assert_eq!(outcome.completed + outcome.cached, total);
+    let victim_report = outcome
+        .workers
+        .iter()
+        .find(|w| w.addr == victim_addr)
+        .unwrap();
+    assert!(
+        !victim_report.alive,
+        "the killed worker is reported dead: {victim_report:?}"
+    );
+
+    // The degraded run's merged store still matches a clean single-node
+    // run byte for byte.
+    let single = spawn_worker(Duration::ZERO);
+    let baseline = temp_root("failover-baseline");
+    Coordinator::new(vec![single.addr().to_string()])
+        .timeout(timeout)
+        .store(ResultStore::open(&baseline).unwrap())
+        .run(&spec)
+        .unwrap();
+    assert_eq!(
+        snapshot(&root),
+        snapshot(&baseline),
+        "failover must not change the merged bytes"
+    );
+
+    for worker in workers {
+        worker.shutdown(timeout).unwrap();
+    }
+    single.shutdown(timeout).unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&baseline);
+}

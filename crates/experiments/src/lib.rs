@@ -20,6 +20,7 @@
 //! The `repro` binary drives all of this from the command line and prints
 //! paper-shaped tables; [`report`] renders text and CSV.
 
+pub mod backoff;
 pub mod events;
 pub mod figures;
 pub mod json;
@@ -34,6 +35,7 @@ pub mod sweep;
 pub mod tables;
 pub mod tracerun;
 
+pub use backoff::BackoffPolicy;
 pub use events::RunLog;
 pub use figures::{
     ablation, figure, figure_mem, figure_with, try_figure_with, try_figure_with_workload, Figure,

@@ -30,6 +30,7 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use pipe_core::SimStats;
 use pipe_icache::FetchStats;
@@ -40,6 +41,28 @@ use crate::runner::ExperimentPoint;
 /// Store layout version; bump when the entry format or key scheme
 /// changes.
 pub const STORE_VERSION: u32 = 1;
+
+/// How old a `.tmp.` file must be before [`ResultStore::prune`] treats
+/// it as an interrupted-write leftover rather than an in-progress save.
+/// Saves hold their temp file for microseconds, so a generous grace
+/// period costs nothing: a genuinely orphaned temp file is collected by
+/// the next prune after the grace elapses.
+pub const TMP_GRACE: Duration = Duration::from_secs(60);
+
+/// Whether a temp file is younger than [`TMP_GRACE`] (by mtime). A file
+/// that vanished reads as not-fresh (the removal path skips NotFound);
+/// an unreadable or future mtime reads as fresh, erring toward not
+/// deleting a live writer's file.
+fn tmp_is_fresh(path: &Path) -> bool {
+    match std::fs::metadata(path) {
+        Ok(meta) => match meta.modified().ok().and_then(|m| m.elapsed().ok()) {
+            Some(age) => age < TMP_GRACE,
+            None => true,
+        },
+        Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+        Err(_) => true,
+    }
+}
 
 /// A typed result-store failure. Only conditions that indicate the store
 /// holds *wrong* data (rather than merely missing or unreadable data) are
@@ -344,6 +367,14 @@ impl ResultStore {
     /// recorded key (a stale key format), and leftover `.tmp` files from
     /// interrupted writes. Valid entries are untouched.
     ///
+    /// Safe to run while writers are active: temp files younger than
+    /// [`TMP_GRACE`] belong to in-progress [`save`](ResultStore::save)
+    /// calls and are skipped (counted in
+    /// [`PruneReport::skipped_active`]), and a file that vanishes between
+    /// the directory listing and its removal — because a concurrent save
+    /// renamed a temp file into place, or another prune got there first —
+    /// is simply skipped, never an error.
+    ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the store directory cannot be
@@ -366,11 +397,18 @@ impl ResultStore {
 
     fn prune_impl(&self, dry_run: bool) -> io::Result<PruneReport> {
         let mut report = PruneReport::default();
-        let remove = |path: &Path| -> io::Result<()> {
+        // Removes `path`, reporting whether a file was actually deleted.
+        // "Already gone" is a skip, not an error: a concurrent save
+        // renames its temp file away, and a concurrent prune may win the
+        // race to any stale file.
+        let remove = |path: &Path| -> io::Result<bool> {
             if dry_run {
-                Ok(())
-            } else {
-                std::fs::remove_file(path)
+                return Ok(true);
+            }
+            match std::fs::remove_file(path) {
+                Ok(()) => Ok(true),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+                Err(e) => Err(e),
             }
         };
         for dirent in std::fs::read_dir(&self.dir)? {
@@ -379,34 +417,45 @@ impl ResultStore {
                 continue;
             };
             if name.contains(".tmp.") {
-                remove(&path)?;
-                report.removed_tmp += 1;
+                // A fresh temp file belongs to an in-progress save;
+                // deleting it would break that writer's rename. Only
+                // temp files older than the grace period are leftovers.
+                if tmp_is_fresh(&path) {
+                    report.skipped_active += 1;
+                } else if remove(&path)? {
+                    report.removed_tmp += 1;
+                }
                 continue;
             }
             if path.extension().is_none_or(|x| x != "json") {
                 continue;
             }
-            let Ok(text) = std::fs::read_to_string(&path) else {
-                remove(&path)?;
-                report.removed_corrupt += 1;
-                continue;
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(_) => {
+                    if remove(&path)? {
+                        report.removed_corrupt += 1;
+                    }
+                    continue;
+                }
             };
             match StoredPoint::from_json(&text) {
                 None => {
                     let version_mismatch =
                         field_u64(&text, "version").is_some_and(|v| v != u64::from(STORE_VERSION));
-                    remove(&path)?;
-                    if version_mismatch {
-                        report.removed_version += 1;
-                    } else {
-                        report.removed_corrupt += 1;
+                    if remove(&path)? {
+                        if version_mismatch {
+                            report.removed_version += 1;
+                        } else {
+                            report.removed_corrupt += 1;
+                        }
                     }
                 }
                 Some(entry) => {
                     if name == format!("{:016x}.json", fnv1a64(&entry.key)) {
                         report.kept += 1;
-                    } else {
-                        remove(&path)?;
+                    } else if remove(&path)? {
                         report.removed_hash += 1;
                     }
                 }
@@ -430,6 +479,9 @@ pub struct PruneReport {
     pub removed_hash: usize,
     /// Leftover temp files from interrupted writes.
     pub removed_tmp: usize,
+    /// Temp files younger than [`TMP_GRACE`], left alone because they
+    /// belong to an in-progress save.
+    pub skipped_active: usize,
 }
 
 impl PruneReport {
@@ -453,7 +505,16 @@ impl fmt::Display for PruneReport {
             self.removed_hash,
             self.removed_tmp,
             if self.removed_tmp == 1 { "" } else { "s" },
-        )
+        )?;
+        if self.skipped_active > 0 {
+            write!(
+                f,
+                "; skipped {} in-progress temp file{}",
+                self.skipped_active,
+                if self.skipped_active == 1 { "" } else { "s" },
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -688,6 +749,18 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Backdates a file's mtime past [`TMP_GRACE`], so prune sees it as
+    /// an interrupted-write leftover instead of an in-progress save.
+    fn age_past_grace(path: &Path) {
+        let earlier = std::time::SystemTime::now() - 2 * TMP_GRACE;
+        std::fs::File::options()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_modified(earlier)
+            .unwrap();
+    }
+
     /// Byte-for-byte snapshot of every file in the store directory.
     fn dir_snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
         let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
@@ -711,7 +784,9 @@ mod tests {
         let store = ResultStore::open(&dir).unwrap();
         store.save(&sample("v1|keep-me")).unwrap();
         std::fs::write(store.dir().join("00000000deadbeef.json"), "{garbage").unwrap();
-        std::fs::write(store.dir().join("0000000000000000.tmp.1.2"), "partial").unwrap();
+        let tmp = store.dir().join("0000000000000000.tmp.1.2");
+        std::fs::write(&tmp, "partial").unwrap();
+        age_past_grace(&tmp);
 
         let before = dir_snapshot(store.dir());
         let dry = store.prune_dry_run().unwrap();
@@ -723,6 +798,7 @@ mod tests {
                 removed_corrupt: 1,
                 removed_hash: 0,
                 removed_tmp: 1,
+                skipped_active: 0,
             }
         );
         // Dry run left the store byte-identical.
@@ -758,14 +834,16 @@ mod tests {
         .unwrap();
 
         // A corrupt entry, an entry filed under the wrong hash, and a
-        // stale temp file.
+        // stale (aged past the grace period) temp file.
         std::fs::write(store.dir().join("00000000deadbeef.json"), "{garbage").unwrap();
         std::fs::write(
             store.dir().join("0123456789abcdef.json"),
             sample("v1|misplaced").to_json(),
         )
         .unwrap();
-        std::fs::write(store.dir().join("0000000000000000.tmp.1.2"), "partial").unwrap();
+        let tmp = store.dir().join("0000000000000000.tmp.1.2");
+        std::fs::write(&tmp, "partial").unwrap();
+        age_past_grace(&tmp);
 
         let report = store.prune().unwrap();
         assert_eq!(
@@ -776,6 +854,7 @@ mod tests {
                 removed_corrupt: 1,
                 removed_hash: 1,
                 removed_tmp: 1,
+                skipped_active: 0,
             }
         );
         assert_eq!(report.removed(), 4);
@@ -788,6 +867,85 @@ mod tests {
         assert_eq!(again.kept, 2);
         assert_eq!(again.removed(), 0);
         assert!(store.prune().unwrap().to_string().contains("kept 2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_skips_fresh_tmp_files_of_inflight_saves() {
+        let dir = std::env::temp_dir().join(format!("pipe-store-fresh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        store.save(&sample("v1|keep")).unwrap();
+        // A temp file with a current mtime models a save between its
+        // write and its rename: prune must leave it alone.
+        let tmp = store.dir().join("00000000cafef00d.tmp.9.9");
+        std::fs::write(&tmp, "in flight").unwrap();
+
+        let report = store.prune().unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.removed(), 0);
+        assert_eq!(report.skipped_active, 1);
+        assert!(tmp.is_file(), "fresh temp file survives prune");
+        assert!(report
+            .to_string()
+            .contains("skipped 1 in-progress temp file"));
+
+        // Once aged past the grace period it is a leftover and goes.
+        age_past_grace(&tmp);
+        let report = store.prune().unwrap();
+        assert_eq!(report.removed_tmp, 1);
+        assert_eq!(report.skipped_active, 0);
+        assert!(!tmp.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_tolerates_files_vanishing_mid_scan() {
+        // A file listed by read_dir but gone by the time prune reaches
+        // it (another prune won the race, or a save renamed its temp
+        // away) must be skipped, not surfaced as an I/O error.
+        let dir = std::env::temp_dir().join(format!("pipe-store-vanish-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        store.save(&sample("v1|stable")).unwrap();
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // Writers keep creating short-lived temp files and new keys
+            // while prunes run concurrently.
+            for w in 0..2 {
+                let (store, stop) = (&store, &stop);
+                scope.spawn(move || {
+                    let mut i = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        store
+                            .save(&sample(&format!("v1|churn-{w}-{i}")))
+                            .expect("save during concurrent prune");
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let store = &store;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        store.prune().expect("prune during concurrent saves");
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // Nothing valid was lost: every surviving entry still loads, and
+        // the stable key written before the churn is intact.
+        assert_eq!(
+            store.load("v1|stable").unwrap().unwrap(),
+            sample("v1|stable")
+        );
+        let report = store.prune().unwrap();
+        assert_eq!(report.removed(), 0, "prune never removed a valid entry");
+        assert_eq!(report.kept, store.len());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -49,6 +49,7 @@ use pipe_isa::{DecodedProgram, InstrFormat, Program};
 use pipe_mem::MemConfig;
 use pipe_workloads::LivermoreSuite;
 
+use crate::backoff::{BackoffPolicy, Retry};
 use crate::events::RunLog;
 use crate::figures::{figure_mem, Series};
 use crate::matrix::{sweep_sizes, StrategyKind, ALL_STRATEGIES};
@@ -819,7 +820,6 @@ impl SweepRunner {
         wall: Duration,
         run: &RunState<'_>,
     ) {
-        const ATTEMPTS: u32 = 3;
         let (log, store_ok) = (run.log, run.store_ok);
         let Some(store) = &self.store else { return };
         if !store_ok.load(Ordering::Relaxed) {
@@ -828,31 +828,33 @@ impl SweepRunner {
         let entry =
             StoredPoint::from_point(job.key(), job.kind.label(), point, wall.as_millis() as u64);
         let inject_fail = self.inject.store_fail_jobs.contains(&job.index);
-        let mut backoff = Duration::from_millis(10);
-        for attempt in 1..=ATTEMPTS {
-            let result = if inject_fail {
-                Err(std::io::Error::other("injected store-write failure"))
-            } else {
-                store.save(&entry)
-            };
-            let Err(e) = result else { return };
-            if attempt < ATTEMPTS {
+        let policy = BackoffPolicy::store_default();
+        let result = policy.run(
+            |_attempt| {
+                if inject_fail {
+                    Err(std::io::Error::other("injected store-write failure"))
+                } else {
+                    store.save(&entry)
+                }
+            },
+            |attempt, e| {
                 if let Some(log) = log {
                     log.store_retry(job.index, attempt, &e.to_string());
                 }
-                std::thread::sleep(backoff);
-                backoff *= 2;
-            } else {
-                eprintln!(
-                    "[{}] warning: store write failed {ATTEMPTS} times ({e}); \
-                     continuing without the result store",
-                    spec.id
-                );
-                if let Some(log) = log {
-                    log.store_degraded(job.index, &e.to_string());
-                }
-                store_ok.store(false, Ordering::Relaxed);
+                Retry::After(None)
+            },
+        );
+        if let Err(e) = result {
+            eprintln!(
+                "[{}] warning: store write failed {} times ({e}); \
+                 continuing without the result store",
+                spec.id,
+                policy.attempts()
+            );
+            if let Some(log) = log {
+                log.store_degraded(job.index, &e.to_string());
             }
+            store_ok.store(false, Ordering::Relaxed);
         }
     }
 

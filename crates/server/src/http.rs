@@ -424,6 +424,84 @@ mod tests {
     }
 
     #[test]
+    fn rejects_oversized_header_line() {
+        // A single header line beyond MAX_LINE_BYTES is Malformed (a
+        // typed 400), not an unbounded read or an I/O error.
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx-padding: {}\r\n\r\n",
+            "a".repeat(MAX_LINE_BYTES + 1)
+        );
+        assert!(matches!(
+            read_request(&mut Cursor::new(raw.as_bytes())),
+            Err(HttpError::Malformed(m)) if m.contains("too long")
+        ));
+        // An oversized *request line* is caught by the same guard.
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "b".repeat(MAX_LINE_BYTES + 1));
+        assert!(matches!(
+            read_request(&mut Cursor::new(raw.as_bytes())),
+            Err(HttpError::Malformed(_))
+        ));
+        // Exactly at the cap still parses.
+        let path = format!("/{}", "c".repeat(100));
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            read_request(&mut Cursor::new(raw.as_bytes())).unwrap().path,
+            path
+        );
+    }
+
+    #[test]
+    fn post_without_content_length_reads_empty_body() {
+        // Content-Length is the only body framing the server speaks: a
+        // POST without it parses with an empty body rather than hanging
+        // waiting for EOF.
+        let raw = b"POST /v1/simulate HTTP/1.1\r\nHost: x\r\n\r\n{\"ignored\":1}";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert!(req.body.is_empty());
+        assert_eq!(req.body_text(), Some(""));
+    }
+
+    #[test]
+    fn partial_body_reads_surface_as_io_errors() {
+        // A client that declares more body than it sends (dies mid-send)
+        // must surface as Io — the connection is dropped without a
+        // response — never as a short-but-"successful" body.
+        for sent in [0, 1, 9] {
+            let raw = format!(
+                "POST /v1/simulate HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}",
+                "x".repeat(sent)
+            );
+            assert!(
+                matches!(
+                    read_request(&mut Cursor::new(raw.as_bytes())),
+                    Err(HttpError::Io(_))
+                ),
+                "{sent} of 10 body bytes must be an Io error"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_content_length_and_header_shapes() {
+        let bad_len = b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&bad_len[..])),
+            Err(HttpError::Malformed(m)) if m.contains("content-length")
+        ));
+        let no_colon = b"GET / HTTP/1.1\r\njust-some-words\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&no_colon[..])),
+            Err(HttpError::Malformed(m)) if m.contains("colon")
+        ));
+        let bad_version = b"GET / SPDY/9\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&bad_version[..])),
+            Err(HttpError::Malformed(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
     fn response_round_trips_through_client_reader() {
         let resp = Response::json(200, "{\"ok\":true}".to_string())
             .header("x-pipe-source", "computed")

@@ -8,6 +8,7 @@
 //! | `POST /v1/simulate` | one fetch-configuration run → stats JSON |
 //! | `POST /v1/sweep` | a figure-shaped sweep via the sweep engine |
 //! | `GET /v1/workloads` | resident decoded programs + accepted fields |
+//! | `GET /v1/info` | version, store layout, provisioning — worker compatibility |
 //! | `GET /metrics` | Prometheus-style text counters and histograms |
 //! | `GET /healthz` | liveness + uptime |
 //! | `POST /admin/shutdown` | graceful drain and exit |
@@ -130,6 +131,7 @@ impl Server {
             store,
             config.request_timeout,
             config.sweep_jobs,
+            config.workers,
         ));
         Ok(Server {
             listener,

@@ -115,6 +115,8 @@ pub struct Metrics {
     pub requests_shutdown: Counter,
     /// `GET /healthz` requests received.
     pub requests_healthz: Counter,
+    /// `GET /v1/info` requests received.
+    pub requests_info: Counter,
     /// Requests to any unrecognised route or method.
     pub requests_other: Counter,
     responses: [Counter; STATUSES.len()],
@@ -163,13 +165,14 @@ impl Metrics {
     /// Renders every metric in the Prometheus text exposition format.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(2048);
-        let requests: [(&str, &Counter); 7] = [
+        let requests: [(&str, &Counter); 8] = [
             ("simulate", &self.requests_simulate),
             ("sweep", &self.requests_sweep),
             ("workloads", &self.requests_workloads),
             ("metrics", &self.requests_metrics),
             ("shutdown", &self.requests_shutdown),
             ("healthz", &self.requests_healthz),
+            ("info", &self.requests_info),
             ("other", &self.requests_other),
         ];
         out.push_str("# TYPE pipe_serve_requests_total counter\n");

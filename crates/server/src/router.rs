@@ -36,6 +36,8 @@ pub struct AppState {
     pub request_timeout: Duration,
     /// Worker threads a `/v1/sweep` run may use.
     pub sweep_jobs: usize,
+    /// Request-handling worker threads (reported by `/v1/info`).
+    pub workers: usize,
     /// When the server started (for `/healthz` uptime).
     pub started: Instant,
     sweeps: Mutex<HashMap<String, Arc<SweepFlight>>>,
@@ -57,6 +59,7 @@ impl AppState {
         store: Option<ResultStore>,
         request_timeout: Duration,
         sweep_jobs: usize,
+        workers: usize,
     ) -> AppState {
         AppState {
             sim,
@@ -64,6 +67,7 @@ impl AppState {
             store,
             request_timeout,
             sweep_jobs,
+            workers,
             started: Instant::now(),
             sweeps: Mutex::new(HashMap::new()),
         }
@@ -108,6 +112,10 @@ pub fn route(state: &AppState, req: &Request) -> RouteOutcome {
             state.metrics.requests_metrics.inc();
             outcome(Response::text(200, state.metrics.render()), "metrics")
         }
+        ("GET", "/v1/info") => {
+            state.metrics.requests_info.inc();
+            outcome(handle_info(state), "info")
+        }
         ("GET", "/healthz") => {
             state.metrics.requests_healthz.inc();
             let uptime = state.started.elapsed().as_millis();
@@ -131,7 +139,7 @@ pub fn route(state: &AppState, req: &Request) -> RouteOutcome {
                 "other",
             )
         }
-        (_, "/v1/workloads" | "/metrics" | "/healthz") => {
+        (_, "/v1/workloads" | "/v1/info" | "/metrics" | "/healthz") => {
             state.metrics.requests_other.inc();
             outcome(
                 Response::error(405, "method not allowed; use GET").header("allow", "GET"),
@@ -145,6 +153,37 @@ pub fn route(state: &AppState, req: &Request) -> RouteOutcome {
                 "other",
             )
         }
+    }
+}
+
+/// The `/v1/info` body: what a coordinator needs to decide whether this
+/// worker is compatible (version and store layout) and how it is
+/// provisioned (workers, sweep jobs, store size).
+fn handle_info(state: &AppState) -> Response {
+    let store_keys = state.store.as_ref().map(ResultStore::len).unwrap_or(0);
+    let body = format!(
+        "{{\"version\":\"{}\",\"store_version\":{},\"workers\":{},\"sweep_jobs\":{},\
+         \"store_enabled\":{},\"store_keys\":{store_keys},\"uptime_ms\":{}}}",
+        escape(env!("CARGO_PKG_VERSION")),
+        pipe_experiments::store::STORE_VERSION,
+        state.workers,
+        state.sweep_jobs,
+        state.store.is_some(),
+        state.started.elapsed().as_millis(),
+    );
+    Response::json(200, body)
+}
+
+/// Rejects request bodies that are not JSON objects. An empty body is
+/// allowed (every field has a default); anything non-empty must at least
+/// be brace-delimited, so typos like form-encoded or truncated bodies
+/// get a `400` instead of silently parsing as all-defaults.
+fn require_json_object(body: &str) -> Result<(), String> {
+    let trimmed = body.trim();
+    if trimmed.is_empty() || (trimmed.starts_with('{') && trimmed.ends_with('}')) {
+        Ok(())
+    } else {
+        Err("request body must be a JSON object".to_string())
     }
 }
 
@@ -180,6 +219,7 @@ fn parse_workload(body: &str) -> Result<WorkloadSpec, String> {
 /// Parses a `/v1/simulate` body into a fully-resolved point. The fields
 /// mirror the `pipe-sim` flags; absent fields take the CLI defaults.
 fn parse_simulate_body(body: &str) -> Result<SimPoint, String> {
+    require_json_object(body)?;
     let workload = parse_workload(body)?;
     let fetch_name = field_str(body, "fetch").unwrap_or_else(|| "pipe".to_string());
     let kind = FetchKind::parse(&fetch_name)
@@ -279,6 +319,9 @@ fn handle_sweep(state: &AppState, req: &Request) -> Response {
     let Some(body) = req.body_text() else {
         return Response::error(400, "body is not UTF-8");
     };
+    if let Err(message) = require_json_object(body) {
+        return Response::error(400, &message);
+    }
     let Some(figure) = field_str(body, "figure") else {
         return Response::error(400, "missing required field `figure` (\"4a\"..\"6b\")");
     };
@@ -454,6 +497,18 @@ mod tests {
         assert!(parse_simulate_body("{\"prefetch\":\"psychic\"}").is_err());
         assert!(parse_simulate_body("{\"format\":\"octal\"}").is_err());
         assert!(parse_simulate_body("{\"workload\":\"tight-loop\",\"trips\":70000}").is_err());
+    }
+
+    #[test]
+    fn simulate_body_rejects_non_json_objects() {
+        // A body that is not a JSON object must be a typed 400, not a
+        // silent all-defaults run.
+        assert!(parse_simulate_body("cache=64&fetch=pipe").is_err());
+        assert!(parse_simulate_body("\"just a string\"").is_err());
+        assert!(parse_simulate_body("{\"cache\":64").is_err());
+        // An empty body is the documented all-defaults request.
+        assert!(parse_simulate_body("").is_ok());
+        assert!(parse_simulate_body("   \n").is_ok());
     }
 
     #[test]

@@ -269,6 +269,24 @@ fn introspection_endpoints_and_error_paths() {
     assert_eq!(health.status, 200);
     assert!(health.body_text().contains("\"status\":\"ok\""));
 
+    // Worker-compat info: version, store layout, provisioning.
+    let info = http_request(&addr, "GET", "/v1/info", None, TIMEOUT).unwrap();
+    assert_eq!(info.status, 200);
+    let text = info.body_text();
+    assert_eq!(
+        field_str(&text, "version").as_deref(),
+        Some(env!("CARGO_PKG_VERSION")),
+        "{text}"
+    );
+    assert_eq!(field_u64(&text, "store_version"), Some(1), "{text}");
+    assert_eq!(field_u64(&text, "workers"), Some(4), "{text}");
+    // This server has no store attached.
+    assert!(text.contains("\"store_enabled\":false"), "{text}");
+    assert_eq!(field_u64(&text, "store_keys"), Some(0), "{text}");
+    let wrong_info = http_request(&addr, "POST", "/v1/info", None, TIMEOUT).unwrap();
+    assert_eq!(wrong_info.status, 405);
+    assert_eq!(wrong_info.header("allow"), Some("GET"));
+
     // Workloads is empty before any simulation, populated after.
     let empty = http_request(&addr, "GET", "/v1/workloads", None, TIMEOUT).unwrap();
     assert!(empty.body_text().contains("\"resident\":[]"));
@@ -278,10 +296,16 @@ fn introspection_endpoints_and_error_paths() {
     assert!(text.contains("tight-loop:body=6,trips=30"), "{text}");
     assert!(text.contains("\"instructions\":"), "{text}");
 
-    // Error paths: bad JSON field, unknown route, wrong method.
+    // Error paths: bad JSON field, non-JSON body, unknown route, wrong
+    // method.
     let bad = simulate(&addr, "{\"fetch\":\"warp-drive\"}");
     assert_eq!(bad.status, 400);
     assert!(bad.body_text().contains("warp-drive"));
+    let not_json = simulate(&addr, "cache=64&fetch=pipe");
+    assert_eq!(not_json.status, 400);
+    assert!(not_json.body_text().contains("JSON object"));
+    let truncated = simulate(&addr, "{\"cache\":64");
+    assert_eq!(truncated.status, 400);
     let missing = http_request(&addr, "GET", "/v1/nonsense", None, TIMEOUT).unwrap();
     assert_eq!(missing.status, 404);
     let wrong = http_request(&addr, "GET", "/v1/simulate", None, TIMEOUT).unwrap();
@@ -292,7 +316,7 @@ fn introspection_endpoints_and_error_paths() {
     let metrics = http_request(&addr, "GET", "/metrics", None, TIMEOUT).unwrap();
     let text = metrics.body_text();
     assert!(
-        text.contains("pipe_serve_requests_total{endpoint=\"simulate\"} 2\n"),
+        text.contains("pipe_serve_requests_total{endpoint=\"simulate\"} 4\n"),
         "{text}"
     );
     assert!(
@@ -300,7 +324,7 @@ fn introspection_endpoints_and_error_paths() {
         "{text}"
     );
     assert!(
-        text.contains("pipe_serve_responses_total{status=\"405\"} 1\n"),
+        text.contains("pipe_serve_responses_total{status=\"405\"} 2\n"),
         "{text}"
     );
 
