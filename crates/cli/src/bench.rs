@@ -55,6 +55,10 @@ options:
   --dir DIR            output directory               (default: .)
   --bench NAME         run a single bench (full_livermore | synthetic;
                        default: all)
+  --batch N            simulate up to N same-workload points per batched
+                       kernel call instead of one at a time (default: 1,
+                       the scalar path); per-point wall time is the
+                       batch's wall divided by its lanes
 
 Every point is simulated repeatedly and must reproduce bit-identical
 statistics across repetitions, and against every entry already recorded
@@ -73,6 +77,8 @@ pub struct BenchOptions {
     pub dir: String,
     /// Restrict to one bench by name.
     pub only: Option<String>,
+    /// Maximum same-workload points per batched kernel call (1 = scalar).
+    pub batch: usize,
 }
 
 /// Parses `pipe-sim bench` arguments (excluding the subcommand name).
@@ -85,10 +91,19 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
     let mut label = "current".to_string();
     let mut dir = ".".to_string();
     let mut only = None;
+    let mut batch = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--batch" => {
+                let value = it.next().ok_or("--batch needs a lane count")?;
+                batch = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--batch: invalid lane count `{value}`"))?;
+            }
             "--label" => {
                 label = it.next().ok_or("--label needs a value")?.clone();
                 if label.is_empty() || !label.bytes().all(|b| b.is_ascii_graphic() && b != b'"') {
@@ -111,6 +126,7 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
         label,
         dir,
         only,
+        batch,
     })
 }
 
@@ -167,7 +183,83 @@ fn run_point(
     Ok((reference.expect("at least one rep"), best))
 }
 
-fn livermore_points(quick: bool, reps: u32) -> Result<Vec<BenchPoint>, String> {
+/// Measures a same-workload group of lanes through the batched kernel:
+/// `reps` batched passes, every lane's statistics bit-identical across
+/// repetitions, per-lane wall time an equal share of the best batch
+/// wall. Errors name the offending lane.
+fn run_lanes_batched(
+    program: &Arc<DecodedProgram>,
+    lanes: &[(StrategyKind, pipe_core::FetchStrategy, u32)],
+    mem: &MemConfig,
+    reps: u32,
+) -> Result<Vec<(SimStats, Duration)>, String> {
+    let batch_lanes: Vec<(pipe_core::FetchStrategy, u32)> = lanes
+        .iter()
+        .map(|&(_, fetch, size)| (fetch, size))
+        .collect();
+    let mut best = Duration::MAX;
+    let mut reference: Option<Vec<SimStats>> = None;
+    for rep in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let results = pipe_experiments::try_run_points_batched(program, &batch_lanes, mem);
+        let wall = t0.elapsed();
+        best = best.min(wall);
+        let mut stats = Vec::with_capacity(lanes.len());
+        for (result, &(kind, _, size)) in results.into_iter().zip(lanes) {
+            stats.push(
+                result
+                    .map(|p| p.stats)
+                    .map_err(|e| format!("{} @ {size}B: {e}", kind.label()))?,
+            );
+        }
+        match &reference {
+            None => reference = Some(stats),
+            Some(prev) => {
+                if *prev != stats {
+                    return Err(format!(
+                        "determinism violation: batched repetition {rep} produced \
+                         different statistics",
+                    ));
+                }
+            }
+        }
+    }
+    let per_lane = best / lanes.len().max(1) as u32;
+    Ok(reference
+        .expect("at least one rep")
+        .into_iter()
+        .map(|stats| (stats, per_lane))
+        .collect())
+}
+
+/// Measures every `(strategy, fetch, size)` lane of one workload, either
+/// point-at-a-time (`batch` <= 1) or in batched-kernel groups of up to
+/// `batch` lanes. Both paths produce bit-identical statistics; only the
+/// wall-time attribution differs (measured vs amortized).
+fn measure_lanes(
+    program: &Arc<DecodedProgram>,
+    lanes: &[(StrategyKind, pipe_core::FetchStrategy, u32)],
+    mem: &MemConfig,
+    reps: u32,
+    batch: usize,
+) -> Result<Vec<(SimStats, Duration)>, String> {
+    if batch <= 1 {
+        return lanes
+            .iter()
+            .map(|&(kind, fetch, size)| {
+                run_point(program, fetch, mem, reps)
+                    .map_err(|e| format!("{} @ {size}B: {e}", kind.label()))
+            })
+            .collect();
+    }
+    let mut out = Vec::with_capacity(lanes.len());
+    for group in lanes.chunks(batch) {
+        out.extend(run_lanes_batched(program, group, mem, reps)?);
+    }
+    Ok(out)
+}
+
+fn livermore_points(quick: bool, reps: u32, batch: usize) -> Result<Vec<BenchPoint>, String> {
     let suite = pipe_workloads::livermore_benchmark();
     let program = Arc::new(DecodedProgram::new(suite.program().clone()));
     let (mem, _) = figure_mem("4a");
@@ -176,27 +268,29 @@ fn livermore_points(quick: bool, reps: u32) -> Result<Vec<BenchPoint>, String> {
     } else {
         pipe_experiments::sweep_sizes()
     };
-    let mut points = Vec::new();
+    let mut lanes = Vec::new();
     for kind in BENCH_STRATEGIES {
         for &size in sizes {
-            let Some(fetch) = kind.fetch_for(size, PrefetchPolicy::TruePrefetch) else {
-                continue;
-            };
-            let (stats, wall) = run_point(&program, fetch, &mem, reps)
-                .map_err(|e| format!("{} @ {size}B: {e}", kind.label()))?;
-            points.push(BenchPoint {
-                engine: kind.label(),
-                cache_bytes: size,
-                workload: "livermore".to_string(),
-                stats,
-                wall,
-            });
+            if let Some(fetch) = kind.fetch_for(size, PrefetchPolicy::TruePrefetch) {
+                lanes.push((kind, fetch, size));
+            }
         }
     }
-    Ok(points)
+    let measured = measure_lanes(&program, &lanes, &mem, reps, batch)?;
+    Ok(lanes
+        .iter()
+        .zip(measured)
+        .map(|(&(kind, _, size), (stats, wall))| BenchPoint {
+            engine: kind.label(),
+            cache_bytes: size,
+            workload: "livermore".to_string(),
+            stats,
+            wall,
+        })
+        .collect())
 }
 
-fn synthetic_points(quick: bool, reps: u32) -> Result<Vec<BenchPoint>, String> {
+fn synthetic_points(quick: bool, reps: u32, batch: usize) -> Result<Vec<BenchPoint>, String> {
     use pipe_workloads::synthetic::{branch_heavy, tight_loop};
     let kernels: Vec<(String, Program)> = if quick {
         vec![(
@@ -223,20 +317,27 @@ fn synthetic_points(quick: bool, reps: u32) -> Result<Vec<BenchPoint>, String> {
     let mut points = Vec::new();
     for (name, program) in &kernels {
         let program = Arc::new(DecodedProgram::new(program.clone()));
-        for kind in BENCH_STRATEGIES {
-            let Some(fetch) = kind.fetch_for(128, PrefetchPolicy::TruePrefetch) else {
-                continue;
-            };
-            let (stats, wall) = run_point(&program, fetch, &mem, reps)
-                .map_err(|e| format!("{name}/{}: {e}", kind.label()))?;
-            points.push(BenchPoint {
-                engine: kind.label(),
-                cache_bytes: 128,
-                workload: name.clone(),
-                stats,
-                wall,
-            });
-        }
+        let lanes: Vec<(StrategyKind, pipe_core::FetchStrategy, u32)> = BENCH_STRATEGIES
+            .into_iter()
+            .filter_map(|kind| {
+                kind.fetch_for(128, PrefetchPolicy::TruePrefetch)
+                    .map(|fetch| (kind, fetch, 128))
+            })
+            .collect();
+        let measured = measure_lanes(&program, &lanes, &mem, reps, batch)
+            .map_err(|e| format!("{name}/{e}"))?;
+        points.extend(
+            lanes
+                .iter()
+                .zip(measured)
+                .map(|(&(kind, _, _), (stats, wall))| BenchPoint {
+                    engine: kind.label(),
+                    cache_bytes: 128,
+                    workload: name.clone(),
+                    stats,
+                    wall,
+                }),
+        );
     }
     Ok(points)
 }
@@ -375,9 +476,10 @@ fn check_cross_entry(prev: &str, new_entry: &str) -> Result<(), String> {
 }
 
 /// Assembles the full bench JSON: header, prior entries (an entry with
-/// the same label is replaced), the new entry, and — when an entry
-/// labeled `baseline` exists — a `speedup` block comparing the newest
-/// entry's throughput against it.
+/// the same label is replaced), the new entry, and — when a prior entry
+/// under a different label exists — a `speedup` block comparing the new
+/// entry's throughput against the most recent such entry, so successive
+/// milestones chain (`baseline` → `optimized` → `batched`).
 fn render_file(
     name: &str,
     mem: &MemConfig,
@@ -412,19 +514,25 @@ fn render_file(
         let wall_ms = extract_num(e, "sum_wall_ms")?;
         (wall_ms > 0.0).then(|| cycles / (wall_ms / 1e3))
     };
-    let baseline_cps = entries
+    // The reference is the most recent prior entry recorded under a
+    // different label — so each milestone's entry reports its gain over
+    // the one before it.
+    let reference = entries
         .iter()
-        .find(|e| extract_str(e, "label") == Some("baseline"))
-        .and_then(|e| entry_cps(e));
+        .rev()
+        .skip(1)
+        .find(|e| extract_str(e, "label") != Some(new_label));
     let new_cps = entry_cps(new_entry);
-    if let (Some(base), Some(new)) = (baseline_cps, new_cps) {
-        if new_label != "baseline" && base > 0.0 {
-            let _ = write!(
-                s,
-                ",\"speedup\":{{\"from\":\"baseline\",\"to\":\"{new_label}\",\
-                 \"cycles_per_sec_ratio\":{:.3}}}",
-                new / base,
-            );
+    if let (Some(reference), Some(new)) = (reference, new_cps) {
+        if let (Some(from), Some(base)) = (extract_str(reference, "label"), entry_cps(reference)) {
+            if base > 0.0 {
+                let _ = write!(
+                    s,
+                    ",\"speedup\":{{\"from\":\"{from}\",\"to\":\"{new_label}\",\
+                     \"cycles_per_sec_ratio\":{:.3}}}",
+                    new / base,
+                );
+            }
         }
     }
     s.push_str("}\n");
@@ -456,14 +564,14 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             b.push((
                 "full_livermore",
                 mem_4a,
-                livermore_points(opts.quick, reps)?,
+                livermore_points(opts.quick, reps, opts.batch)?,
             ));
         }
         if want("synthetic") {
             b.push((
                 "synthetic",
                 MemConfig::default(),
-                synthetic_points(opts.quick, reps)?,
+                synthetic_points(opts.quick, reps, opts.batch)?,
             ));
         }
         b
@@ -498,7 +606,8 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             path.display(),
         );
         if let Some(ratio) = extract_num(&file, "cycles_per_sec_ratio") {
-            let _ = writeln!(out, "{name}: speedup vs baseline {ratio:.3}x");
+            let from = extract_str(&file, "from").unwrap_or("baseline");
+            let _ = writeln!(out, "{name}: speedup vs {from} {ratio:.3}x");
         }
     }
     Ok(out)
@@ -523,9 +632,15 @@ mod tests {
         let o = parse_bench_args(&args("--bench synthetic")).unwrap();
         assert_eq!(o.only.as_deref(), Some("synthetic"));
         assert_eq!(o.label, "current");
+        assert_eq!(o.batch, 1);
+
+        let o = parse_bench_args(&args("--batch 16")).unwrap();
+        assert_eq!(o.batch, 16);
 
         assert!(parse_bench_args(&args("--bench warp")).is_err());
         assert!(parse_bench_args(&args("--label")).is_err());
+        assert!(parse_bench_args(&args("--batch 0")).is_err());
+        assert!(parse_bench_args(&args("--batch riches")).is_err());
         assert!(parse_bench_args(&args("--bogus")).is_err());
     }
 
@@ -621,6 +736,7 @@ mod tests {
             label: "t1".to_string(),
             dir: tmp.to_string_lossy().into_owned(),
             only: Some("synthetic".to_string()),
+            batch: 1,
         };
         let out = run_bench(&opts).unwrap();
         assert!(out.contains("synthetic:"), "{out}");
@@ -631,11 +747,26 @@ mod tests {
         // accumulate a second entry.
         let opts2 = BenchOptions {
             label: "t2".to_string(),
-            ..opts
+            ..opts.clone()
         };
         run_bench(&opts2).unwrap();
         let text = std::fs::read_to_string(tmp.join("BENCH_synthetic.quick.json")).unwrap();
         assert_eq!(extract_entries(&text).len(), 2);
+        // A batched run must pass the cross-entry gate against both
+        // scalar entries: the lanes simulate bit-identically.
+        let opts3 = BenchOptions {
+            label: "t3-batched".to_string(),
+            batch: 3,
+            ..opts
+        };
+        run_bench(&opts3).unwrap();
+        let text = std::fs::read_to_string(tmp.join("BENCH_synthetic.quick.json")).unwrap();
+        assert_eq!(extract_entries(&text).len(), 3);
+        // The speedup block chains from the most recent prior label.
+        assert!(
+            text.contains("\"from\":\"t2\",\"to\":\"t3-batched\""),
+            "{text}"
+        );
         let _ = std::fs::remove_dir_all(&tmp);
     }
 }

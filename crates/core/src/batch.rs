@@ -1,0 +1,264 @@
+//! Batched multi-configuration simulation.
+//!
+//! The paper's experiments sweep one workload across dozens of (fetch
+//! engine, cache size, memory) points. [`run_batch`] drives N independent
+//! [`SimConfig`] lanes over one shared [`DecodedProgram`] in a single
+//! pass, instead of N separate [`run_decoded`](crate::run_decoded) calls:
+//!
+//! * **Lane state as parallel arrays.** Processors, results, and the
+//!   active-lane index list are struct-of-arrays keyed by lane index, so
+//!   the scheduler touches only compact per-lane slots and the shared
+//!   predecode table stays hot across lanes.
+//! * **Lockstep quanta.** Active lanes advance round-robin in
+//!   [`STRIDE`]-cycle quanta, bounding divergence between lanes so that
+//!   all of them keep re-reading the same region of the shared program.
+//! * **Stall fast-forwarding.** After every stepped cycle, a lane that is
+//!   provably idle — fetch engine quiescent, issue stage repeating the
+//!   same stall, memory counting down a known-latency access — jumps
+//!   straight to its next wakeup cycle via
+//!   `Processor::fast_forward_stall`, accumulating the exact statistics
+//!   the skipped ticks would have produced.
+//!
+//! Correctness is the contract: every lane's [`SimStats`] (and any
+//! [`SimError`]) is bit-identical to what the scalar
+//! [`run_decoded`](crate::run_decoded) path produces for the same
+//! configuration. The fast-forward machinery only ever skips windows in
+//! which each constituent cycle is a provable no-op, so the lane replays
+//! the scalar cycle loop exactly — including timeout cycles and per-cycle
+//! queue-occupancy samples.
+
+use std::sync::Arc;
+
+use pipe_isa::DecodedProgram;
+
+use crate::config::SimConfig;
+use crate::processor::{Processor, SimError};
+use crate::stats::SimStats;
+
+/// Cycles each active lane advances per scheduling quantum. Large enough
+/// to amortize the lane switch, small enough to keep lanes reading the
+/// same working set of the shared program.
+const STRIDE: u64 = 64;
+
+/// Runs every configuration in `configs` over the shared predecoded
+/// program, returning one result per lane, in order.
+///
+/// Each lane's outcome — statistics on success, [`SimError`] on a config,
+/// decode, or timeout failure — is bit-identical to
+/// [`run_decoded`](crate::run_decoded) with the same arguments. Lanes are
+/// independent: one lane failing does not disturb the others.
+pub fn run_batch(
+    decoded: &Arc<DecodedProgram>,
+    configs: &[SimConfig],
+) -> Vec<Result<SimStats, SimError>> {
+    let mut lanes: Vec<Option<Processor>> = Vec::with_capacity(configs.len());
+    let mut results: Vec<Option<Result<SimStats, SimError>>> = Vec::with_capacity(configs.len());
+    for config in configs {
+        match Processor::from_decoded(decoded, config) {
+            Ok(p) => {
+                lanes.push(Some(p));
+                results.push(None);
+            }
+            Err(e) => {
+                lanes.push(None);
+                results.push(Some(Err(e)));
+            }
+        }
+    }
+
+    let mut active: Vec<usize> = (0..lanes.len()).filter(|&i| lanes[i].is_some()).collect();
+    while !active.is_empty() {
+        active.retain(|&lane| {
+            let proc = lanes[lane].as_mut().expect("active lane has a processor");
+            let quantum_end = proc.cycle() + STRIDE;
+            let outcome = loop {
+                if proc.is_done() {
+                    let mut p = lanes[lane].take().expect("checked above");
+                    p.finalize_stats();
+                    break Some(Ok(p.into_stats()));
+                }
+                if proc.cycle() >= proc.max_cycles() {
+                    break Some(Err(SimError::Timeout {
+                        cycles: proc.cycle(),
+                    }));
+                }
+                let issued_before = proc.stats().instructions_issued;
+                if let Err(e) = proc.step() {
+                    break Some(Err(e));
+                }
+                // Only probe for a quiet window after a cycle that failed
+                // to issue: a window opening right after an issue is caught
+                // one (cheap) step later, and skipping the probe on issuing
+                // cycles keeps the fast-forward machinery off the kernel's
+                // throughput path. Statistics are unaffected either way —
+                // the fast-forward is exact whenever it fires.
+                if proc.stats().instructions_issued == issued_before {
+                    proc.fast_forward_stall();
+                }
+                if proc.cycle() >= quantum_end {
+                    break None; // quantum exhausted, lane stays active
+                }
+            };
+            match outcome {
+                Some(result) => {
+                    lanes[lane] = None;
+                    results[lane] = Some(result);
+                    false
+                }
+                None => true,
+            }
+        });
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane resolved"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FetchStrategy;
+    use crate::processor::run_decoded;
+    use pipe_icache::{CacheConfig, PipeFetchConfig, TibConfig};
+    use pipe_isa::{Assembler, InstrFormat, Program};
+    use pipe_mem::MemConfig;
+
+    fn asm(src: &str) -> Program {
+        Assembler::new(InstrFormat::Fixed32)
+            .assemble(src)
+            .unwrap_or_else(|e| panic!("assembly failed: {e}"))
+    }
+
+    fn decoded(src: &str) -> Arc<DecodedProgram> {
+        Arc::new(DecodedProgram::new(asm(src)))
+    }
+
+    /// A loop with loads, stores, an FPU multiply, and taken branches —
+    /// exercises every stall class.
+    const WORKLOAD: &str = r#"
+        lim  r1, 0x200
+        lim  r2, 0
+        lim  r3, 6
+        lbr  b0, loop
+        loop: sta r1, 0
+        or   r7, r2, r2
+        ldw  r1, 0
+        add  r2, r7, r7
+        addi r1, r1, 4
+        subi r3, r3, 1
+        pbr.nez b0, r3, 1
+        nop
+        halt
+    "#;
+
+    fn configs() -> Vec<SimConfig> {
+        let slow = MemConfig {
+            access_cycles: 6,
+            ..MemConfig::default()
+        };
+        vec![
+            SimConfig {
+                fetch: FetchStrategy::Perfect,
+                mem: slow,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                fetch: FetchStrategy::conventional(CacheConfig::new(64, 16)),
+                mem: slow,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                fetch: FetchStrategy::Pipe(PipeFetchConfig::table2(64, 16, 16, 16)),
+                mem: slow,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                fetch: FetchStrategy::Tib(TibConfig::with_budget(64, 16)),
+                mem: slow,
+                ..SimConfig::default()
+            },
+            SimConfig::default(),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_scalar_across_engines() {
+        let program = decoded(WORKLOAD);
+        let configs = configs();
+        let batched = run_batch(&program, &configs);
+        for (config, batched) in configs.iter().zip(&batched) {
+            let scalar = run_decoded(&program, config);
+            assert_eq!(
+                &scalar, batched,
+                "lane diverged from scalar under {:?}",
+                config.fetch
+            );
+        }
+    }
+
+    #[test]
+    fn fast_forward_accounts_identically_to_ticked_cycles() {
+        // Slow memory under perfect fetch: long data-wait windows that the
+        // fast-forward provably skips. The manually fast-forwarded run
+        // must land on bit-identical statistics.
+        let program = decoded(WORKLOAD);
+        let config = SimConfig {
+            fetch: FetchStrategy::Perfect,
+            mem: MemConfig {
+                access_cycles: 9,
+                ..MemConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let scalar = run_decoded(&program, &config).expect("scalar run");
+
+        let mut proc = Processor::from_decoded(&program, &config).expect("config valid");
+        let mut skipped = 0;
+        while !proc.is_done() {
+            proc.step().expect("step");
+            skipped += proc.fast_forward_stall();
+        }
+        proc.finalize_stats();
+        assert!(skipped > 0, "slow loads must open fast-forward windows");
+        assert_eq!(scalar, proc.into_stats());
+    }
+
+    #[test]
+    fn timeout_lane_matches_scalar_timeout() {
+        // Reading r7 with no load in flight deadlocks; both paths must
+        // time out on exactly the same cycle.
+        let program = decoded("or r1, r7, r7\nhalt\n");
+        let config = SimConfig {
+            fetch: FetchStrategy::Perfect,
+            max_cycles: 1234,
+            ..SimConfig::default()
+        };
+        let scalar = run_decoded(&program, &config).unwrap_err();
+        let batched = run_batch(&program, std::slice::from_ref(&config));
+        assert_eq!(batched[0].as_ref().unwrap_err(), &scalar);
+        assert!(matches!(scalar, SimError::Timeout { cycles: 1234 }));
+    }
+
+    #[test]
+    fn invalid_lane_fails_without_disturbing_others() {
+        let program = decoded(WORKLOAD);
+        let bad = SimConfig {
+            ldq_entries: 0,
+            ..SimConfig::default()
+        };
+        let good = SimConfig::default();
+        let results = run_batch(&program, &[good.clone(), bad, good.clone()]);
+        assert!(matches!(results[1], Err(SimError::Config(_))));
+        let scalar = run_decoded(&program, &good).expect("scalar run");
+        assert_eq!(results[0].as_ref().unwrap(), &scalar);
+        assert_eq!(results[2].as_ref().unwrap(), &scalar);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let program = decoded("halt\n");
+        assert!(run_batch(&program, &[]).is_empty());
+    }
+}

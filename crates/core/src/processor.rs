@@ -87,6 +87,18 @@ struct PbrState {
     issued_after: u8,
 }
 
+/// The issue-stage outcome that will repeat every cycle of a quiet
+/// fast-forward window (see [`Processor::fast_forward_stall`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QuietStall {
+    /// Halted and draining: issue is skipped entirely.
+    Halted,
+    Ifetch,
+    DataWait,
+    QueueFull,
+    Branch,
+}
+
 /// The simulated PIPE processor.
 ///
 /// Generic over its trace sink: the default [`NoTrace`] monomorphizes the
@@ -314,10 +326,22 @@ impl<S: TraceSink> Processor<S> {
             }
             self.step()?;
         }
+        self.finalize_stats();
+        Ok(())
+    }
+
+    /// Copies the final cycle count and the fetch/memory snapshots into
+    /// the statistics — the epilogue [`run`](Self::run) performs after the
+    /// loop, shared with the batched kernel.
+    pub(crate) fn finalize_stats(&mut self) {
         self.stats.cycles = self.cycle;
         self.stats.fetch = self.fetch.stats().clone();
         self.stats.mem = self.mem.stats().clone();
-        Ok(())
+    }
+
+    /// The configured cycle budget.
+    pub(crate) fn max_cycles(&self) -> u64 {
+        self.max_cycles
     }
 
     /// Consumes the processor, returning the accumulated statistics by
@@ -414,6 +438,134 @@ impl<S: TraceSink> Processor<S> {
 
         self.cycle += 1;
         Ok(())
+    }
+
+    /// Classifies the issue-stage outcome the next [`step`](Self::step)
+    /// would produce, *assuming no memory event intervenes*: a pure replay
+    /// of [`try_issue`](Self::try_issue)'s decision chain with no state
+    /// mutation. `None` means the next cycle makes progress (an issue or a
+    /// decode error) and must be ticked for real.
+    fn quiet_stall_reason(&self) -> Option<QuietStall> {
+        if self.halted {
+            return Some(QuietStall::Halted);
+        }
+        let instr = match self.peek_decoded() {
+            Some(Ok(instr)) => instr,
+            Some(Err(_)) => return None, // surfaces as SimError::Decode
+            None => return Some(QuietStall::Ifetch),
+        };
+        // Callers guarantee `pbr` is `None`, so branch gating reduces to
+        // the redirect guard.
+        if instr.is_branch() && self.redirect_remaining.is_some() {
+            return Some(QuietStall::Branch);
+        }
+        let reads_q = Self::reads_queue_reg(&instr);
+        let queue_value = if reads_q {
+            match self.ldq.front_ready() {
+                Some(v) => Some(v),
+                None => return Some(QuietStall::DataWait),
+            }
+        } else {
+            None
+        };
+        let ldq_after_pop = self.ldq.len() - usize::from(reads_q);
+        let needs_ldq_slot = match &instr {
+            Instruction::Load { .. } => true,
+            Instruction::StoreAddr { base, disp } => {
+                let base_v = if base.is_queue() {
+                    queue_value.expect("checked above")
+                } else {
+                    self.regs.read(*base)
+                };
+                let addr = base_v.wrapping_add(*disp as i32 as u32);
+                Self::fpu_op(addr).is_some()
+            }
+            _ => false,
+        };
+        let queue_full = (needs_ldq_slot && ldq_after_pop >= self.ldq_entries)
+            || (matches!(instr, Instruction::Load { .. }) && self.laq.is_full())
+            || (matches!(instr, Instruction::StoreAddr { .. }) && self.saq.is_full())
+            || (Self::writes_queue_reg(&instr) && self.sdq.len() >= self.sdq_entries);
+        if queue_full {
+            return Some(QuietStall::QueueFull);
+        }
+        None // would issue: real work next cycle
+    }
+
+    /// Fast-forwards over a provably-idle stall window, accumulating the
+    /// exact statistics that ticking those cycles one by one would have
+    /// produced. Returns the number of cycles skipped (0 when the next
+    /// cycle may do real work).
+    ///
+    /// Must be called between [`step`](Self::step)s. A window exists only
+    /// when every per-cycle activity is a provable no-op:
+    ///
+    /// * tracing is off (a sink observes per-cycle stall events);
+    /// * no PBR is awaiting resolution (it resolves on a fixed cycle);
+    /// * the fetch engine is [quiescent](FetchEngine::quiescence) — each
+    ///   coming cycle is a pure re-offer of `n` requests;
+    /// * the issue stage repeats the same stall (nothing it reads can
+    ///   change without a memory event); and
+    /// * the memory system reports a quiet window: no beat, no
+    ///   acceptance, no state transition before the wakeup cycle.
+    ///
+    /// The window is clamped to `max_cycles` so a deadlocked lane times
+    /// out on exactly the same cycle as the scalar path.
+    pub(crate) fn fast_forward_stall(&mut self) -> u64 {
+        if self.trace.enabled() || self.pbr.is_some() {
+            return 0;
+        }
+        // Cheap bound before the engine queries: standing offers only
+        // shrink the quiet window, so a small bound with no offers caps the
+        // window at any offer count. This rejects every cycle of an active
+        // stream (each delivers a beat) without touching the fetch engine,
+        // and windows too short to repay the probe itself — skipping or
+        // stepping them produces identical statistics either way.
+        if self.mem.quiet_cycles(false) < 4 {
+            return 0;
+        }
+        if self.is_done() {
+            return 0;
+        }
+        let Some(engine_offers) = self.fetch.quiescence() else {
+            return 0;
+        };
+        let Some(reason) = self.quiet_stall_reason() else {
+            return 0;
+        };
+        // The data-side offer the next cycles would repeat (the tag is
+        // lazily assigned on the first real offer; its value is unaffected
+        // by the skip because no other tag is handed out in the window).
+        let laq_head = self.laq.front();
+        let saq_head = self.saq.front();
+        let load_is_older = match (laq_head, saq_head) {
+            (Some(l), Some(s)) => l.seq < s.seq,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let data_offers = u32::from(load_is_older || (saq_head.is_some() && !self.sdq.is_empty()));
+        let offered = (engine_offers + data_offers) as usize;
+        let n = self
+            .mem
+            .quiet_cycles(offered > 0)
+            .min(self.max_cycles.saturating_sub(self.cycle));
+        if n == 0 {
+            return 0;
+        }
+        match reason {
+            QuietStall::Halted => {} // issue skipped: no stall counted
+            QuietStall::Ifetch => self.stats.stalls.ifetch += n,
+            QuietStall::DataWait => self.stats.stalls.data_wait += n,
+            QuietStall::QueueFull => self.stats.stalls.queue_full += n,
+            QuietStall::Branch => self.stats.stalls.branch += n,
+        }
+        self.stats.queues.laq.sample_n(self.laq.len(), n);
+        self.stats.queues.ldq.sample_n(self.ldq.len(), n);
+        self.stats.queues.saq.sample_n(self.saq.len(), n);
+        self.stats.queues.sdq.sample_n(self.sdq.len(), n);
+        self.mem.skip_quiet(n, offered);
+        self.cycle += n;
+        n
     }
 
     fn resolve_pbr_if_due(&mut self) {

@@ -42,6 +42,15 @@ impl QueueOccupancy {
         self.total += len as u64;
     }
 
+    /// Samples `n` consecutive cycles at the same occupancy — equivalent
+    /// to calling [`sample`](Self::sample) `n` times. Used by the batched
+    /// kernel when fast-forwarding a stall window during which no queue
+    /// length can change.
+    pub fn sample_n(&mut self, len: usize, n: u64) {
+        self.max = self.max.max(len);
+        self.total += len as u64 * n;
+    }
+
     /// Average occupancy over `cycles`.
     pub fn average(&self, cycles: u64) -> f64 {
         if cycles == 0 {

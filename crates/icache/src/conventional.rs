@@ -96,6 +96,22 @@ struct Pending {
     demand: bool,
 }
 
+/// Memoized per-PC fetch state. The offer, probe, peek, and quiescence
+/// paths all re-derive "is the instruction at PC fully cached" (and the
+/// always-prefetch path, "would a prefetch for the next instruction
+/// launch") several times per simulated cycle from inputs that only
+/// change on a beat, a consume, a redirect, or a reset — so the answers
+/// are computed once per PC and invalidated at exactly those events.
+#[derive(Debug, Clone, Copy)]
+struct AvailMemo {
+    pc: u32,
+    bytes: u32,
+    cached: bool,
+    /// Whether the always-prefetch probe past this instruction would
+    /// launch a request; computed lazily on first use.
+    next_launches: Option<bool>,
+}
+
 /// Hill's always-prefetch conventional instruction cache.
 #[derive(Debug)]
 pub struct ConventionalFetch {
@@ -123,6 +139,9 @@ pub struct ConventionalFetch {
     /// instruction may straddle two lines that conflict in a small cache
     /// (the halves would otherwise evict each other forever).
     latch: [Option<u32>; 2],
+    /// See [`AvailMemo`]. A `Cell` because the read-only engine entry
+    /// points (`peek`, `quiescence`) share the memo.
+    avail: std::cell::Cell<Option<AvailMemo>>,
     stats: FetchStats,
 }
 
@@ -178,6 +197,7 @@ impl ConventionalFetch {
             probe_counted: false,
             just_consumed: false,
             latch: [None, None],
+            avail: std::cell::Cell::new(None),
             stats: FetchStats::default(),
         }
     }
@@ -223,6 +243,57 @@ impl ConventionalFetch {
         true
     }
 
+    /// `(instruction bytes, fully cached)` for the instruction at the
+    /// current PC, or `None` when the PC is outside the image. Memoized;
+    /// see [`AvailMemo`].
+    fn availability(&self) -> Option<(u32, bool)> {
+        if let Some(m) = self.avail.get() {
+            if m.pc == self.pc {
+                return Some((m.bytes, m.cached));
+            }
+        }
+        let bytes = self.instr_bytes_at(self.pc)?;
+        let cached = self.instr_cached(self.pc, bytes);
+        self.avail.set(Some(AvailMemo {
+            pc: self.pc,
+            bytes,
+            cached,
+            next_launches: None,
+        }));
+        Some((bytes, cached))
+    }
+
+    /// Whether the always-prefetch probe for the instruction after the
+    /// current one (of `bytes` bytes) would launch a request. Memoized;
+    /// only meaningful while the current instruction is cached.
+    fn next_prefetch_launches(&self, bytes: u32) -> bool {
+        if let Some(m) = self.avail.get() {
+            if m.pc == self.pc {
+                if let Some(launches) = m.next_launches {
+                    return launches;
+                }
+            }
+        }
+        let next = self.pc + bytes;
+        let launches = self.parcel(next).is_some()
+            && match self.instr_cached(next, PARCEL_BYTES) {
+                true => {
+                    let nbytes = self
+                        .instr_bytes_at(next)
+                        .expect("parcel exists, so size is known");
+                    !self.instr_cached(next, nbytes)
+                }
+                false => true,
+            };
+        if let Some(mut m) = self.avail.get() {
+            if m.pc == self.pc {
+                m.next_launches = Some(launches);
+                self.avail.set(Some(m));
+            }
+        }
+        launches
+    }
+
     fn maybe_trigger(&mut self) {
         if let Some((after, target)) = self.redirect {
             if self.delivered == after {
@@ -230,6 +301,7 @@ impl ConventionalFetch {
                 self.redirect = None;
                 self.probe_counted = false;
                 self.latch = [None, None];
+                self.avail.set(None);
                 self.stats.redirects += 1;
                 // An in-flight sequential prefetch is now known wasted (it
                 // still completes and fills the cache).
@@ -251,6 +323,7 @@ impl FetchEngine for ConventionalFetch {
         self.pending = None;
         self.probe_counted = false;
         self.latch = [None, None];
+        self.avail.set(None);
         self.fresh.clear();
         self.tagged_trigger = false;
         self.cache.flush();
@@ -263,7 +336,7 @@ impl FetchEngine for ConventionalFetch {
         // demand fetch once the decoder is actually stalled on its range.
         let stalled_at = (!just_consumed)
             .then(|| {
-                self.instr_bytes_at(self.pc).map(|_| {
+                self.availability().map(|_| {
                     let sb = self.cache.config().subblock_bytes;
                     self.pc & !(sb - 1)
                 })
@@ -294,8 +367,8 @@ impl FetchEngine for ConventionalFetch {
         // previous reference (IPrefetch class); once the decoder is
         // stalled on it — or under the other strategies — it is a demand
         // fetch.
-        if let Some(bytes) = self.instr_bytes_at(self.pc) {
-            if !self.instr_cached(self.pc, bytes) {
+        if let Some((bytes, cached)) = self.availability() {
+            if !cached {
                 let (lo, len) = self.covering(self.pc, bytes);
                 let tag = mem.new_tag();
                 let demand = !(just_consumed && self.prefetch == ConvPrefetch::Always);
@@ -316,9 +389,11 @@ impl FetchEngine for ConventionalFetch {
             }
 
             // Prefetch the next sequential instruction past PC, per the
-            // configured strategy.
+            // configured strategy. Under always-prefetch the launch
+            // decision is memoized (the steady-state answer is "already
+            // covered" every cycle).
             let allow = match self.prefetch {
-                ConvPrefetch::Always => true,
+                ConvPrefetch::Always => self.next_prefetch_launches(bytes),
                 ConvPrefetch::OnMissOnly => false,
                 ConvPrefetch::Tagged => std::mem::take(&mut self.tagged_trigger),
             };
@@ -374,6 +449,7 @@ impl FetchEngine for ConventionalFetch {
         if p.tag != beat.tag {
             return;
         }
+        self.avail.set(None); // the fill (and latch) change availability
         self.cache.fill(beat.addr, beat.bytes);
         if self.prefetch == ConvPrefetch::Tagged {
             let sb = self.cache.config().subblock_bytes;
@@ -401,8 +477,8 @@ impl FetchEngine for ConventionalFetch {
     fn advance(&mut self) {
         // Count one probe per new PC value (per reference).
         if !self.probe_counted {
-            if let Some(bytes) = self.instr_bytes_at(self.pc) {
-                if self.instr_cached(self.pc, bytes) {
+            if let Some((_, cached)) = self.availability() {
+                if cached {
                     self.stats.cache_hits += 1;
                 } else {
                     self.stats.cache_misses += 1;
@@ -413,8 +489,8 @@ impl FetchEngine for ConventionalFetch {
     }
 
     fn peek(&self) -> Option<(u16, Option<u16>)> {
-        let bytes = self.instr_bytes_at(self.pc)?;
-        if !self.instr_cached(self.pc, bytes) {
+        let (_, cached) = self.availability()?;
+        if !cached {
             return None;
         }
         let first = self.parcel(self.pc)?;
@@ -432,18 +508,18 @@ impl FetchEngine for ConventionalFetch {
     fn peek_index(&self) -> Option<usize> {
         // Gated exactly like `peek`: the instruction must be fully cached
         // and every parcel inside the image.
-        let bytes = self.instr_bytes_at(self.pc)?;
-        if !self.instr_cached(self.pc, bytes) || self.pc + bytes > self.end {
+        let (bytes, cached) = self.availability()?;
+        if !cached || self.pc + bytes > self.end {
             return None;
         }
         Some(((self.pc - self.base) / PARCEL_BYTES) as usize)
     }
 
     fn consume(&mut self) {
-        let bytes = self
-            .instr_bytes_at(self.pc)
+        let (bytes, cached) = self
+            .availability()
             .expect("consume without available instruction");
-        debug_assert!(self.instr_cached(self.pc, bytes));
+        debug_assert!(cached);
         if self.prefetch == ConvPrefetch::Tagged {
             let sb = self.cache.config().subblock_bytes;
             if self.fresh.remove(&(self.pc & !(sb - 1))) {
@@ -455,6 +531,7 @@ impl FetchEngine for ConventionalFetch {
         self.probe_counted = false;
         self.just_consumed = true;
         self.latch = [None, None];
+        self.avail.set(None); // the latch clear can change availability
         self.stats.instructions_delivered += 1;
         self.maybe_trigger();
     }
@@ -468,6 +545,44 @@ impl FetchEngine for ConventionalFetch {
 
     fn has_outstanding(&self) -> bool {
         self.pending.is_some()
+    }
+
+    fn quiescence(&self) -> Option<u32> {
+        // A consume this cycle re-arms next cycle's offer decisions
+        // (`just_consumed` gates the prefetch-vs-demand choice), and a set
+        // tagged trigger both mutates and may launch.
+        if self.just_consumed {
+            return None;
+        }
+        if self.prefetch == ConvPrefetch::Tagged && self.tagged_trigger {
+            return None;
+        }
+        if let Some(p) = &self.pending {
+            if p.accepted {
+                return Some(0); // waiting on beats; offers nothing
+            }
+            if !p.demand && self.availability().is_some() {
+                let sb = self.cache.config().subblock_bytes;
+                let lo = self.pc & !(sb - 1);
+                if lo >= p.addr && lo < p.addr + p.bytes {
+                    return None; // prefetch will upgrade to a demand fetch
+                }
+            }
+            return Some(1); // pure re-offer at a stable class
+        }
+        // No pending: quiescent only if next cycle provably launches no
+        // new request. All inputs below (pc, cache, latch) are stable
+        // while no beats arrive and nothing issues.
+        let Some((bytes, cached)) = self.availability() else {
+            return Some(0); // pc outside the image: nothing to fetch
+        };
+        if !cached {
+            return None; // a demand fetch will launch
+        }
+        if self.prefetch == ConvPrefetch::Always && self.next_prefetch_launches(bytes) {
+            return None; // a sequential prefetch will launch
+        }
+        Some(0)
     }
 
     fn stats(&self) -> &FetchStats {

@@ -91,6 +91,23 @@ pub trait FetchEngine {
     /// drain the simulation cleanly at halt).
     fn has_outstanding(&self) -> bool;
 
+    /// Reports whether the engine is *quiescent*: `Some(n)` promises that,
+    /// as long as no acceptances or beats arrive, every subsequent
+    /// [`offer_requests`](FetchEngine::offer_requests) +
+    /// [`advance`](FetchEngine::advance) cycle is a pure re-offer of
+    /// exactly `n` memory-port offers (same request, same class) with no
+    /// other observable state change — no statistics updates, no queue
+    /// movement, no new requests, no redirect firing. `None` means the
+    /// engine cannot make that promise this cycle.
+    ///
+    /// The batched simulation kernel uses this to fast-forward stalled
+    /// lanes over provably-idle windows; a conservative `None` only delays
+    /// the window by a cycle and never affects correctness. Must be
+    /// queried *after* the cycle's `offer_requests`/`advance` have run.
+    fn quiescence(&self) -> Option<u32> {
+        None
+    }
+
     /// The engine's statistics.
     fn stats(&self) -> &FetchStats;
 

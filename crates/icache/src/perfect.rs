@@ -107,6 +107,12 @@ impl FetchEngine for PerfectFetch {
         false
     }
 
+    fn quiescence(&self) -> Option<u32> {
+        // Never touches memory and does all work in peek/consume: a cycle
+        // with no decode activity changes nothing.
+        Some(0)
+    }
+
     fn stats(&self) -> &FetchStats {
         &self.stats
     }

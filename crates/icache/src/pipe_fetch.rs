@@ -156,6 +156,11 @@ pub struct PipeFetch {
     /// A consumed PBR whose outcome has not yet been reported.
     unresolved_pbr: bool,
     delivered: u64,
+    /// Set when the supply pass last ran to a fixpoint: re-running it
+    /// before the next external event (consume, beat, branch resolution,
+    /// reset) is provably a no-op, so [`run_supply`](Self::run_supply)
+    /// skips it. Purely an optimization — behavior is identical.
+    settled: bool,
     stats: FetchStats,
 }
 
@@ -183,6 +188,7 @@ impl PipeFetch {
             redirect: None,
             unresolved_pbr: false,
             delivered: 0,
+            settled: false,
             stats: FetchStats::default(),
         }
     }
@@ -202,6 +208,7 @@ impl PipeFetch {
     #[doc(hidden)]
     pub fn cache_flush_for_test(&mut self) {
         self.cache.flush();
+        self.settled = false;
     }
 
     fn parcel(&self, addr: u32) -> Option<u16> {
@@ -438,6 +445,58 @@ impl PipeFetch {
         }
     }
 
+    /// Fingerprint of everything the supply pass can mutate. Equal stamps
+    /// before and after a pass mean it reached a fixpoint: since the pass
+    /// is a pure function of engine state, it stays a no-op until the next
+    /// external event. The statistics counters are monotonic, so their sum
+    /// detects paths that mutate nothing else (the guaranteed-only probe
+    /// counts a cache miss every cycle it stays blocked).
+    #[allow(clippy::type_complexity)]
+    fn supply_stamp(
+        &self,
+    ) -> (
+        usize,
+        u32,
+        usize,
+        u32,
+        u32,
+        usize,
+        Option<(u64, u32)>,
+        Option<(u32, u32)>,
+        u64,
+    ) {
+        (
+            self.iq.len(),
+            self.iq.end_addr(),
+            self.iqb.len(),
+            self.iqb.end_addr(),
+            self.stream_end,
+            self.pendings.len(),
+            self.redirect,
+            self.prep.map(|p| (p.target, p.end)),
+            self.stats.cache_hits
+                + self.stats.cache_misses
+                + self.stats.wasted_requests
+                + self.stats.flushed_parcels
+                + self.stats.redirects,
+        )
+    }
+
+    /// Runs the trigger/prep/supply pass to its next step, skipping it
+    /// entirely while the engine is settled (the previous pass changed
+    /// nothing and no external event has occurred since).
+    fn run_supply(&mut self) {
+        if self.settled {
+            return;
+        }
+        let before = self.supply_stamp();
+        self.maybe_trigger();
+        self.try_start_prep();
+        self.supply_iq();
+        self.supply_iqb();
+        self.settled = self.supply_stamp() == before;
+    }
+
     fn maybe_trigger(&mut self) {
         let Some((after, target)) = self.redirect else {
             return;
@@ -492,17 +551,18 @@ impl FetchEngine for PipeFetch {
         self.redirect = None;
         self.unresolved_pbr = false;
         self.delivered = 0;
+        self.settled = false;
     }
 
     fn offer_requests(&mut self, mem: &mut MemorySystem) {
         // Run the supply logic here as well as in `advance` so that a fill
         // decided this cycle is offered this cycle (the logic is idempotent
         // — guarded by queue state and pending fills).
-        self.maybe_trigger();
-        self.try_start_prep();
-        self.supply_iq();
-        self.supply_iqb();
+        self.run_supply();
 
+        if self.pendings.is_empty() {
+            return;
+        }
         let mut offered_demand = false;
         let mut offered_prefetch = false;
         for p in &mut self.pendings {
@@ -525,6 +585,7 @@ impl FetchEngine for PipeFetch {
     }
 
     fn on_accepted(&mut self, tag: u64) {
+        self.settled = false;
         for p in &mut self.pendings {
             if p.tag == tag && !p.accepted {
                 p.accepted = true;
@@ -539,6 +600,7 @@ impl FetchEngine for PipeFetch {
     }
 
     fn on_beat(&mut self, beat: &Beat) {
+        self.settled = false;
         debug_assert!(matches!(
             beat.source,
             BeatSource::IFetch | BeatSource::IPrefetch
@@ -611,10 +673,7 @@ impl FetchEngine for PipeFetch {
     }
 
     fn advance(&mut self) {
-        self.maybe_trigger();
-        self.try_start_prep();
-        self.supply_iq();
-        self.supply_iqb();
+        self.run_supply();
     }
 
     fn peek(&self) -> Option<(u16, Option<u16>)> {
@@ -633,6 +692,7 @@ impl FetchEngine for PipeFetch {
     }
 
     fn consume(&mut self) {
+        self.settled = false;
         let (first, second) = self.peek().expect("consume without available instruction");
         self.iq.pop();
         if second.is_some() {
@@ -648,6 +708,7 @@ impl FetchEngine for PipeFetch {
     }
 
     fn resolve_branch(&mut self, taken: bool, remaining: u32, target: u32) {
+        self.settled = false;
         self.unresolved_pbr = false;
         if !taken {
             return;
@@ -662,6 +723,65 @@ impl FetchEngine for PipeFetch {
 
     fn has_outstanding(&self) -> bool {
         !self.pendings.is_empty()
+    }
+
+    fn quiescence(&self) -> Option<u32> {
+        // `supply_iq` transfers IQB→IQ whenever the sequential IQB holds
+        // parcels and the IQ has room.
+        if self.prep.is_none() && !self.iqb.is_empty() && self.iq.room() > 0 {
+            return None;
+        }
+        // `supply_iq` refills a starved IQ (cache copy or new demand fill)
+        // unless preparation or an in-flight fill blocks it, or the stream
+        // front is outside the image.
+        if self.iq.peek_instruction().is_none() {
+            let blocked = self.prep.is_some()
+                || self.has_pending(Dest::Iq)
+                || self.has_pending(Dest::Iqb)
+                || self.stream_end >= self.end
+                || self.stream_end < self.base;
+            if !blocked {
+                return None;
+            }
+        }
+        // `supply_iqb` prefetches (and counts a probe even when the
+        // guaranteed-only gate then blocks the request) unless blocked.
+        let iqb_blocked = self.prep.is_some()
+            || self.redirect.is_some()
+            || !self.iqb.is_empty()
+            || self.has_pending(Dest::Iqb)
+            || self.has_pending(Dest::Iq)
+            || self.stream_end >= self.end
+            || self.stream_end < self.base;
+        if !iqb_blocked {
+            return None;
+        }
+        // `try_start_prep` and `maybe_trigger` ran this cycle and depend
+        // only on `delivered` and IQ contents, both constant while nothing
+        // issues: if they could fire they already have.
+        // The offer loop is then a pure re-offer, one per class port.
+        let mut n = 0u32;
+        let mut demand = false;
+        let mut prefetch = false;
+        for p in &self.pendings {
+            if p.accepted {
+                continue;
+            }
+            let slot = if p.class == ReqClass::IFetch {
+                &mut demand
+            } else {
+                &mut prefetch
+            };
+            if *slot {
+                continue;
+            }
+            *slot = true;
+            if p.tag == 0 {
+                return None; // first offer still to come: assigns a tag
+            }
+            n += 1;
+        }
+        Some(n)
     }
 
     fn stats(&self) -> &FetchStats {

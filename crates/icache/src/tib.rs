@@ -389,6 +389,39 @@ impl FetchEngine for TibFetch {
         self.pending.is_some()
     }
 
+    fn quiescence(&self) -> Option<u32> {
+        match &self.pending {
+            Some(p) if p.accepted => Some(0), // waiting on beats
+            Some(p) => {
+                if p.tag == 0 {
+                    return None; // first offer still to come: assigns a tag
+                }
+                if p.class == ReqClass::IPrefetch && self.fq.needs_refill() {
+                    return None; // will upgrade to the demand class
+                }
+                Some(1) // pure re-offer at a stable class
+            }
+            None => {
+                // `supply` launches a new fill next cycle unless the
+                // stream front is outside the image or the fetch queue is
+                // full — both stable while nothing is consumed.
+                if self.stream_end >= self.end || self.stream_end < self.base {
+                    return Some(0);
+                }
+                let chunk = self
+                    .cfg
+                    .entry_bytes
+                    .min(self.end - self.stream_end)
+                    .min((self.fq.room() as u32) * PARCEL_BYTES);
+                if chunk == 0 {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     fn stats(&self) -> &FetchStats {
         &self.stats
     }

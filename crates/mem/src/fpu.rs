@@ -130,6 +130,13 @@ impl Fpu {
         matches!(self.results.front(), Some(r) if r.ready_at <= now)
     }
 
+    /// Cycle at which the oldest in-flight result becomes available for
+    /// bus arbitration, if any. Results return strictly in operation
+    /// order, so this is the FPU's next bus-delivery event.
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.results.front().map(|r| r.ready_at)
+    }
+
     /// Number of operations started over the FPU's lifetime.
     pub fn ops_started(&self) -> u64 {
         self.ops_started

@@ -663,3 +663,87 @@ fn predecode_matches_raw_decode_on_random_programs() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Batched kernel: bit-identical to the scalar path.
+// ---------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use pipe_repro::core::{run_batch, run_decoded};
+use pipe_repro::icache::TibConfig;
+use pipe_repro::isa::DecodedProgram;
+
+/// A random lane configuration: any engine, any cache size, any memory
+/// timing — including a deliberately tiny cycle budget now and then so
+/// timeout errors are covered too.
+fn random_lane(rng: &mut Rng) -> SimConfig {
+    let cache_bytes = 1u32 << rng.range_u32(5, 10);
+    let fetch = match rng.below(4) {
+        0 => FetchStrategy::Perfect,
+        1 => FetchStrategy::conventional(CacheConfig::new(cache_bytes, 16)),
+        2 => FetchStrategy::Pipe(PipeFetchConfig::table2(cache_bytes, 16, 16, 16)),
+        _ => FetchStrategy::Tib(TibConfig::with_budget(cache_bytes, 16)),
+    };
+    SimConfig {
+        fetch,
+        mem: MemConfig {
+            access_cycles: rng.range_u32(1, 10),
+            pipelined: rng.bool(),
+            in_bus_bytes: if rng.bool() { 8 } else { 4 },
+            ..MemConfig::default()
+        },
+        max_cycles: if rng.below(8) == 0 {
+            u64::from(rng.range_u32(50, 400))
+        } else {
+            50_000_000
+        },
+        ..SimConfig::default()
+    }
+}
+
+/// The contract of `run_batch`: every lane's outcome — statistics on
+/// success, error on timeout — is bit-identical to `run_decoded` with
+/// the same configuration, over random programs and random lane mixes.
+/// This exercises the lockstep scheduler and the stall fast-forward
+/// against the plain cycle loop, which never fast-forwards.
+#[test]
+fn batched_lanes_match_scalar_on_random_programs() {
+    let mut rng = Rng::new(0x150b);
+    for trial in 0..24 {
+        let program = if trial % 2 == 0 {
+            let n = rng.range_u32(1, 120) as usize;
+            let mut b = ProgramBuilder::new(InstrFormat::Fixed32);
+            b.extend((0..n).map(|_| branchless_instruction(&mut rng)));
+            b.push(Instruction::Halt);
+            b.build().expect("builds")
+        } else {
+            let groups = rng.range_u32(1, 8);
+            let ops: Vec<KernelOp> = (0..groups).flat_map(|_| kernel_group(&mut rng)).collect();
+            let cost: u32 = ops.iter().map(|o| o.cost()).sum();
+            let pads = rng.range_u32(3, 8);
+            let kernel = Kernel {
+                index: 97,
+                name: "batch-parity",
+                ops,
+                target_instructions: cost + 3 + pads,
+            };
+            kernel_program(&kernel, rng.range_u32(2, 8), InstrFormat::Fixed32)
+                .expect("balanced groups satisfy the discipline")
+        };
+        let decoded = Arc::new(DecodedProgram::new(program));
+        let lanes: Vec<SimConfig> = (0..rng.range_u32(2, 9))
+            .map(|_| random_lane(&mut rng))
+            .collect();
+        let batched = run_batch(&decoded, &lanes);
+        assert_eq!(batched.len(), lanes.len());
+        for (lane, (config, batched)) in lanes.iter().zip(&batched).enumerate() {
+            let scalar = run_decoded(&decoded, config);
+            assert_eq!(
+                &scalar, batched,
+                "trial {trial} lane {lane} diverged under {:?}",
+                config.fetch
+            );
+        }
+    }
+}
