@@ -1,0 +1,139 @@
+//! Typed assembler diagnostics with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// An assembly diagnostic, located at a 1-based line and column of the
+/// source text.
+///
+/// The column points at the offending token (the operand, label, or
+/// mnemonic), not at the start of the line, so editors can underline the
+/// exact problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    col: usize,
+    kind: AsmErrorKind,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, col: usize, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, col, kind }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based source column of the offending token.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> &AsmErrorKind {
+        &self.kind
+    }
+}
+
+/// The category of an assembly error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// Unknown mnemonic.
+    UnknownMnemonic(String),
+    /// Unknown `.`-directive.
+    UnknownDirective(String),
+    /// Wrong operand count or malformed operand.
+    BadOperands(String),
+    /// An immediate failed to parse or was out of range.
+    BadImmediate(String),
+    /// A register name failed to parse.
+    BadRegister(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label address does not fit the 16-bit parcel field of `lbr`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: String,
+        /// Its byte address.
+        addr: u32,
+    },
+    /// An `.align` value was not a power of two, or the required padding
+    /// cannot be expressed as whole `nop`s under the chosen format.
+    BadAlignment(u32),
+    /// An `.org` directive tried to move the location counter backwards.
+    OrgBackwards {
+        /// The location counter at the directive.
+        at: u32,
+        /// The requested (smaller) address.
+        to: u32,
+    },
+    /// An address violated an alignment requirement (`.org` targets must
+    /// be parcel-aligned; `.word` data must be 4-byte aligned).
+    Misaligned {
+        /// The offending address.
+        addr: u32,
+        /// The required alignment in bytes.
+        need: u32,
+    },
+    /// An instruction appeared after the first `.word`: the code section
+    /// is laid out contiguously and must precede all section data.
+    CodeAfterData,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}: ", self.line, self.col)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::BadOperands(s) => write!(f, "bad operands: {s}"),
+            AsmErrorKind::BadImmediate(s) => write!(f, "bad immediate `{s}`"),
+            AsmErrorKind::BadRegister(s) => write!(f, "bad register `{s}`"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::LabelOutOfRange { label, addr } => {
+                write!(f, "label `{label}` at {addr:#x} exceeds the lbr range")
+            }
+            AsmErrorKind::BadAlignment(a) => write!(f, "bad alignment {a}"),
+            AsmErrorKind::OrgBackwards { at, to } => {
+                write!(f, ".org cannot move backwards from {at:#x} to {to:#x}")
+            }
+            AsmErrorKind::Misaligned { addr, need } => {
+                write!(f, "address {addr:#x} is not {need}-byte aligned")
+            }
+            AsmErrorKind::CodeAfterData => {
+                write!(f, "instructions cannot follow `.word` data")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_col() {
+        let e = AsmError::new(3, 9, AsmErrorKind::UnknownMnemonic("frob".into()));
+        assert_eq!(e.to_string(), "line 3, col 9: unknown mnemonic `frob`");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.col(), 9);
+    }
+
+    #[test]
+    fn display_covers_layout_kinds() {
+        let e = AsmError::new(1, 1, AsmErrorKind::OrgBackwards { at: 8, to: 4 });
+        assert!(e.to_string().contains("backwards"));
+        let e = AsmError::new(1, 1, AsmErrorKind::Misaligned { addr: 6, need: 4 });
+        assert!(e.to_string().contains("aligned"));
+        let e = AsmError::new(1, 1, AsmErrorKind::CodeAfterData);
+        assert!(e.to_string().contains(".word"));
+    }
+}

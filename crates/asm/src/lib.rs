@@ -1,0 +1,41 @@
+//! # pipe-asm
+//!
+//! The assembler front end for the PIPE simulator.
+//!
+//! The seed assembler in [`pipe_isa::asm`] is a minimal line parser kept
+//! for the ISA crate's own tests and doctests. This crate is the
+//! full-featured front end used by the command-line tools, the workload
+//! registry, and the experiment harness:
+//!
+//! * a two-pass [`Assembler`] with forward label references, layout
+//!   directives (`.org`, `.word`, `.align`, plus the seed-compatible
+//!   `.data` and `.equ`), and label-valued `li32`/`.word` operands;
+//! * typed [`AsmError`] diagnostics carrying the 1-based source line
+//!   *and column* of the offending token;
+//! * a round-trippable [`disassemble`] that emits reassemblable source
+//!   (the seed's [`pipe_isa::disassemble`] is a human-facing listing);
+//! * the bundled [`library`] of real programs from `programs/`
+//!   (matrix multiply, sort, memcpy) that exercise the data side of the
+//!   shared memory port.
+//!
+//! ```
+//! use pipe_asm::{Assembler, disassemble};
+//! use pipe_isa::InstrFormat;
+//!
+//! let program = Assembler::new(InstrFormat::Fixed32)
+//!     .assemble("start: lim r1, 3\nloop: subi r1, r1, 1\nlbr b0, loop\npbr.nez b0, r1, 0\nhalt\n")
+//!     .unwrap();
+//! let source = disassemble(&program);
+//! let again = Assembler::new(InstrFormat::Fixed32).assemble(&source).unwrap();
+//! assert_eq!(program.parcels(), again.parcels());
+//! ```
+
+pub mod assemble;
+pub mod disasm;
+pub mod error;
+pub mod library;
+
+pub use assemble::Assembler;
+pub use disasm::disassemble;
+pub use error::{AsmError, AsmErrorKind};
+pub use library::{find as find_program, LibraryProgram, LIBRARY};

@@ -1,0 +1,226 @@
+//! Property tests: randomly generated programs survive the
+//! assemble → disassemble → reassemble round trip byte-identically, and
+//! malformed sources produce typed errors pointing at the right line.
+
+use pipe_asm::{disassemble, AsmErrorKind, Assembler};
+use pipe_isa::{write_program, InstrFormat};
+
+/// A small deterministic PRNG (64-bit LCG, high bits).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+const ALU_OPS: &[&str] = &["add", "sub", "and", "or", "xor", "sll", "srl", "sra"];
+const CONDS: &[&str] = &["", ".eqz", ".nez", ".gtz", ".ltz", ".never"];
+
+/// Emits one random instruction line; `labels` are all label names that
+/// will exist in the finished program (forward references included).
+fn random_instr(rng: &mut Lcg, labels: &[String]) -> String {
+    let r = |rng: &mut Lcg| format!("r{}", rng.below(8));
+    let b = |rng: &mut Lcg| format!("b{}", rng.below(8));
+    match rng.below(12) {
+        0 => format!(
+            "    {} {}, {}, {}",
+            ALU_OPS[rng.below(8) as usize],
+            r(rng),
+            r(rng),
+            r(rng)
+        ),
+        1 => format!(
+            "    {}i {}, {}, {}",
+            ALU_OPS[rng.below(8) as usize],
+            r(rng),
+            r(rng),
+            rng.below(0x10000) as i64 - 0x8000
+        ),
+        2 => format!("    lim {}, {}", r(rng), rng.below(0x10000) as i64 - 0x8000),
+        3 => format!("    lui {}, {:#x}", r(rng), rng.below(0x10000)),
+        4 => format!("    ldw {}, {}", r(rng), rng.below(0x1000) as i64 - 0x800),
+        5 => format!("    sta {}, {}", r(rng), rng.below(0x1000) as i64 - 0x800),
+        6 if !labels.is_empty() => {
+            let target = &labels[rng.below(labels.len() as u64) as usize];
+            format!("    lbr {}, {}", b(rng), target)
+        }
+        6 => format!("    lbr {}, {:#x}", b(rng), rng.below(0x8000) * 2),
+        7 => format!("    lbrr {}, {}", b(rng), r(rng)),
+        8 => format!(
+            "    pbr{} {}, {}, {}",
+            CONDS[rng.below(6) as usize],
+            b(rng),
+            r(rng),
+            rng.below(8)
+        ),
+        9 => format!("    li32 {}, {:#x}", r(rng), rng.next() as u32),
+        10 => ["    nop", "    halt", "    xchg"][rng.below(3) as usize].to_string(),
+        _ => ["    mov r1, r2", "    push r3", "    pop r4"][rng.below(3) as usize].to_string(),
+    }
+}
+
+/// Builds a random but valid program: labelled code, optional alignment,
+/// and a `.word` data tail that may reference labels.
+fn random_program(rng: &mut Lcg) -> String {
+    let n_instr = 5 + rng.below(36) as usize;
+    let n_labels = 1 + rng.below(4) as usize;
+    let labels: Vec<String> = (0..n_labels).map(|i| format!("l{i}")).collect();
+    let mut label_at: Vec<usize> = (0..n_labels)
+        .map(|_| rng.below(n_instr as u64 + 1) as usize)
+        .collect();
+    label_at.sort_unstable();
+
+    let mut src = String::new();
+    if rng.chance(30) {
+        src.push_str(&format!(".org {:#x}\n", rng.below(64) * 4));
+    }
+    let mut next_label = 0;
+    for i in 0..n_instr {
+        while next_label < n_labels && label_at[next_label] == i {
+            src.push_str(&labels[next_label]);
+            src.push_str(":\n");
+            next_label += 1;
+        }
+        src.push_str(&random_instr(rng, &labels));
+        src.push('\n');
+        if rng.chance(5) {
+            src.push_str(&format!(".align {}\n", 1 << (2 + rng.below(3))));
+        }
+    }
+    while next_label < n_labels {
+        src.push_str(&labels[next_label]);
+        src.push_str(":\n");
+        next_label += 1;
+    }
+    let n_words = rng.below(6);
+    if n_words > 0 {
+        // Mixed-format code can end on a half-word boundary.
+        src.push_str(".align 4\n");
+    }
+    for _ in 0..n_words {
+        if rng.chance(25) && !labels.is_empty() {
+            let target = &labels[rng.below(labels.len() as u64) as usize];
+            src.push_str(&format!(".word {target}\n"));
+        } else {
+            src.push_str(&format!(".word {:#x}\n", rng.next() as u32));
+        }
+    }
+    src
+}
+
+#[test]
+fn random_programs_round_trip_byte_identically() {
+    for seed in 0..200u64 {
+        let mut rng = Lcg::new(seed);
+        let src = random_program(&mut rng);
+        for format in [InstrFormat::Fixed32, InstrFormat::Mixed] {
+            let first = Assembler::new(format)
+                .assemble(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} ({format:?}): {e}\n{src}"));
+            let text = disassemble(&first);
+            let second = Assembler::new(format).assemble(&text).unwrap_or_else(|e| {
+                panic!("seed {seed} ({format:?}) reassembly: {e}\n--- disasm ---\n{text}")
+            });
+            assert_eq!(
+                write_program(&first),
+                write_program(&second),
+                "seed {seed} ({format:?}) drifted\n--- source ---\n{src}\n--- disasm ---\n{text}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_programs_match_between_assembler_and_seed_grammar_subset() {
+    // Programs without the new directives must assemble identically to
+    // the seed assembler in pipe-isa.
+    for seed in 0..50u64 {
+        let mut rng = Lcg::new(seed.wrapping_add(777));
+        let n = 4 + rng.below(20) as usize;
+        let labels: Vec<String> = vec!["top".into()];
+        let mut src = String::from("top:\n");
+        for _ in 0..n {
+            src.push_str(&random_instr(&mut rng, &labels));
+            src.push('\n');
+        }
+        for format in [InstrFormat::Fixed32, InstrFormat::Mixed] {
+            let new = Assembler::new(format).assemble(&src).unwrap();
+            let seed_prog = pipe_isa::Assembler::new(format).assemble(&src).unwrap();
+            assert_eq!(new.parcels(), seed_prog.parcels(), "{src}");
+            assert_eq!(new.symbols(), seed_prog.symbols());
+        }
+    }
+}
+
+#[test]
+fn corrupted_line_is_reported_at_the_right_position() {
+    let base = "start: lim r1, 3\nloop: subi r1, r1, 1\nlbr b0, loop\npbr.nez b0, r1, 0\nhalt\n";
+    let bad_lines = [
+        (
+            "frobnicate r1, r2",
+            AsmErrorKind::UnknownMnemonic("frobnicate".into()),
+        ),
+        (".sect text", AsmErrorKind::UnknownDirective(".sect".into())),
+        (
+            "add r1, r2",
+            AsmErrorKind::BadOperands("`add` expects 3 operands, got 2".into()),
+        ),
+        ("lim r12, 4", AsmErrorKind::BadRegister("r12".into())),
+        ("lim r1, 99999", AsmErrorKind::BadImmediate("99999".into())),
+        (
+            "lbr b0, nowhere",
+            AsmErrorKind::UndefinedLabel("nowhere".into()),
+        ),
+        ("start: nop", AsmErrorKind::DuplicateLabel("start".into())),
+    ];
+    let lines: Vec<&str> = base.lines().collect();
+    for (bad, want_kind) in &bad_lines {
+        // Insertion starts at 1 so the duplicate-label case always comes
+        // after the original definition (the second site is reported).
+        for at in 1..=lines.len() {
+            let mut patched: Vec<&str> = lines.clone();
+            patched.insert(at, bad);
+            let src = patched.join("\n");
+            let err = Assembler::new(InstrFormat::Fixed32)
+                .assemble(&src)
+                .expect_err("patched source must fail");
+            assert_eq!(err.line(), at + 1, "{bad} inserted at {at}");
+            assert_eq!(err.kind(), want_kind, "{bad}");
+        }
+    }
+}
+
+#[test]
+fn layout_errors_carry_positions() {
+    let err = Assembler::new(InstrFormat::Fixed32)
+        .assemble("nop\nnop\n.org 0x4\n")
+        .expect_err("backward org");
+    assert_eq!(err.line(), 3);
+    assert!(matches!(
+        err.kind(),
+        AsmErrorKind::OrgBackwards { at: 8, to: 4 }
+    ));
+
+    let err = Assembler::new(InstrFormat::Fixed32)
+        .assemble("halt\n.word 1\n  nop\n")
+        .expect_err("code after data");
+    assert_eq!((err.line(), err.col()), (3, 3));
+    assert!(matches!(err.kind(), AsmErrorKind::CodeAfterData));
+}

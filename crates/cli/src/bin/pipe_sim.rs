@@ -11,7 +11,7 @@ use pipe_trace::{TraceMeta, TraceRecorder};
 type FileRecorder = Rc<RefCell<TraceRecorder<std::io::BufWriter<std::fs::File>>>>;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
 
     // Subcommands first, so `pipe-sim replay --help` shows the replay
     // usage rather than the run usage.
@@ -22,6 +22,12 @@ fn main() -> ExitCode {
         Some("serve") => return serve_main(&args[1..]),
         Some("request") => return request_main(&args[1..]),
         Some("cluster") => return cluster_main(&args[1..]),
+        Some("asm") => return asm_main(&args[1..]),
+        // `run` is an explicit alias for the default mode, so piped
+        // invocations read naturally: pipe-sim asm m.s | pipe-sim run -
+        Some("run") => {
+            args.remove(0);
+        }
         _ => {}
     }
 
@@ -60,7 +66,12 @@ fn main() -> ExitCode {
         (suite.program().clone(), key)
     } else {
         let path = opts.input.as_deref().expect("validated");
-        match pipe_cli::load_program(path, opts.format) {
+        let loaded = if opts.from_asm {
+            pipe_cli::load_asm_program(path, opts.format)
+        } else {
+            pipe_cli::load_program(path, opts.format)
+        };
+        match loaded {
             Ok(p) => (p, format!("file:{path}")),
             Err(e) => {
                 eprintln!("pipe-sim: {e}");
@@ -156,6 +167,39 @@ fn run_and_report<S: TraceSink>(
                  in-flight loads {inflight}, pending FPU {fpu}"
             );
             eprintln!("{}", proc.stats());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn asm_main(args: &[String]) -> ExitCode {
+    use std::io::Write;
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", pipe_cli::ASM_CMD_USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let opts = match pipe_cli::parse_asm_cmd_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pipe-sim asm: {e}\n\n{}", pipe_cli::ASM_CMD_USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match pipe_cli::run_asm_command(&opts) {
+        Ok(pipe_cli::AsmCmdOutput::Text(out)) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Ok(pipe_cli::AsmCmdOutput::Binary(bytes)) => {
+            let mut stdout = std::io::stdout().lock();
+            if let Err(e) = stdout.write_all(&bytes).and_then(|()| stdout.flush()) {
+                eprintln!("pipe-sim asm: cannot write stdout: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pipe-sim asm: {e}");
             ExitCode::FAILURE
         }
     }

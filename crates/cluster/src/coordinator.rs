@@ -618,6 +618,13 @@ fn common_fields(spec: &SweepSpec) -> Result<String, ClusterError> {
             ",\"workload\":\"tight-loop\",\"body\":{body},\"trips\":{trips},\"format\":\"{}\"",
             format_field(*format)
         ),
+        // The name alone crosses the wire; the worker re-assembles its own
+        // bundled copy, and the key echo (which includes the content hash)
+        // rejects a worker whose library drifted from the coordinator's.
+        WorkloadSpec::Asm { name, format, .. } => format!(
+            ",\"workload\":\"asm\",\"program\":\"{name}\",\"format\":\"{}\"",
+            format_field(*format)
+        ),
         WorkloadSpec::Trace { .. } => {
             return Err(ClusterError::Unsupported(
                 "trace workloads replay local files the HTTP API cannot ship".to_string(),
@@ -660,8 +667,17 @@ fn mem_fields(mem: &MemConfig) -> Result<String, ClusterError> {
             "external cache models have no worker API fields".to_string(),
         ));
     }
+    // Absent when no D-cache is configured, so pre-D-cache request
+    // bodies stay byte-identical (coalescing and store keys unchanged).
+    let dcache = match &mem.d_cache {
+        Some(d) => format!(
+            ",\"dcache\":{},\"dline\":{},\"dways\":{}",
+            d.size_bytes, d.line_bytes, d.ways
+        ),
+        None => String::new(),
+    };
     Ok(format!(
-        ",\"access\":{},\"bus\":{},\"pipelined\":{},\"data_first\":{}",
+        ",\"access\":{},\"bus\":{},\"pipelined\":{},\"data_first\":{}{dcache}",
         mem.access_cycles,
         mem.in_bus_bytes,
         mem.pipelined,

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! repro [--all] [--table1] [--table2] [--fig4a ... --fig6b]
-//!       [--ablation-access] [--ablation-priority] [--ablation-prefetch]
-//!       [--ablation-format] [--check] [--csv-dir DIR] [--from-trace FILE]
+//!       [--joint-id] [--ablation-access] [--ablation-priority]
+//!       [--ablation-prefetch] [--ablation-format] [--check]
+//!       [--csv-dir DIR] [--from-trace FILE]
 //!       [--jobs N] [--resume] [--store DIR] [--progress]
 //!       [--strict] [--events DIR]
 //! ```
@@ -12,6 +13,11 @@
 //! verifies the paper's qualitative expectations and exits nonzero on a
 //! violation. `--csv-dir` additionally writes one CSV per figure (and,
 //! with `--profile`, one per-loop CSV per profiled strategy).
+//!
+//! `--joint-id` runs the joint I/D size sweep (an extension): I-cache
+//! sizes crossed with D-cache sizes on the assembled `matmul` program
+//! under 6-cycle, 4-byte-bus memory. It renders, CSVs, and SVGs like
+//! any figure; `pipe-sim --sweep id` is the CLI equivalent.
 //!
 //! `--from-trace FILE` runs the selected figure sweeps trace-driven:
 //! every point replays the given trace (binary `.ptr` or plain-text
@@ -37,7 +43,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use pipe_experiments::figures::{
-    ablation, try_figure_with, try_figure_with_workload, Figure, ALL_ABLATIONS, ALL_FIGURES,
+    ablation, try_figure_with, try_figure_with_workload, try_joint_id_figure_with, Figure,
+    ALL_ABLATIONS, ALL_FIGURES,
 };
 use pipe_experiments::report::{check_expectations, render_csv, render_failures, render_text};
 use pipe_experiments::store::ResultStore;
@@ -48,6 +55,7 @@ struct Options {
     tables: Vec<&'static str>,
     figures: Vec<&'static str>,
     ablations: Vec<&'static str>,
+    joint_id: bool,
     profile: bool,
     studies: bool,
     check: bool,
@@ -67,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
         tables: Vec::new(),
         figures: Vec::new(),
         ablations: Vec::new(),
+        joint_id: false,
         profile: false,
         studies: false,
         check: false,
@@ -90,6 +99,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.ablations = ALL_ABLATIONS.to_vec();
                 opts.profile = true;
                 opts.studies = true;
+                any = true;
+            }
+            "--joint-id" => {
+                opts.joint_id = true;
                 any = true;
             }
             "--profile" => {
@@ -262,6 +275,22 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 // Strict fail-fast: report what completed, then abort.
+                eprintln!("repro: {e}");
+                print!("{}", render_failures(&e.partial().failed));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The joint I/D size sweep (extension): I-cache sizes x D-cache
+    // sizes on the assembled matmul program.
+    if opts.joint_id {
+        match try_joint_id_figure_with(&runner) {
+            Ok(run) => {
+                total_failed += run.failed().len();
+                emit(&run.figure, run.failed(), &opts, &mut violations);
+            }
+            Err(e) => {
                 eprintln!("repro: {e}");
                 print!("{}", render_failures(&e.partial().failed));
                 return ExitCode::FAILURE;

@@ -108,7 +108,9 @@ pub fn stats_json(stats: &SimStats) -> String {
             "\"stalls\":{{\"ifetch\":{},\"data_wait\":{},\"queue_full\":{},\"branch\":{}}},",
             "\"fetch\":{{\"demand_requests\":{},\"prefetch_requests\":{},",
             "\"bytes_requested\":{},\"cache_hits\":{},\"cache_misses\":{},",
-            "\"redirects\":{},\"wasted_requests\":{}}}}}"
+            "\"redirects\":{},\"wasted_requests\":{}}},",
+            "\"mem\":{{\"d_hits\":{},\"d_misses\":{},\"d_store_hits\":{},",
+            "\"contended_cycles\":{}}}}}"
         ),
         stats.cycles,
         stats.instructions_issued,
@@ -129,6 +131,10 @@ pub fn stats_json(stats: &SimStats) -> String {
         stats.fetch.cache_misses,
         stats.fetch.redirects,
         stats.fetch.wasted_requests,
+        stats.mem.d_hits,
+        stats.mem.d_misses,
+        stats.mem.d_store_hits,
+        stats.mem.contended_cycles,
     )
 }
 

@@ -118,14 +118,16 @@ pub struct StoredPoint {
     /// Wall-clock milliseconds the original simulation took.
     pub wall_ms: u64,
     /// The persisted statistics: every field of the JSON report surface
-    /// is round-tripped exactly; queue-occupancy and memory-system
+    /// is round-tripped exactly, plus the D-cache and port-contention
+    /// counters; queue-occupancy and the remaining memory-system
     /// counters are zero.
     pub stats: SimStats,
 }
 
 /// The subset of `stats` the store persists: the JSON report surface
-/// (see [`crate::json::stats_json`]), with queue and memory counters
-/// dropped so a freshly loaded entry compares equal to a re-saved one.
+/// (see [`crate::json::stats_json`]) plus the D-cache and contention
+/// counters, with queue and other memory counters dropped so a freshly
+/// loaded entry compares equal to a re-saved one.
 fn persisted_stats(stats: &SimStats) -> SimStats {
     let mut kept = SimStats {
         cycles: stats.cycles,
@@ -148,6 +150,10 @@ fn persisted_stats(stats: &SimStats) -> SimStats {
         wasted_requests: stats.fetch.wasted_requests,
         ..FetchStats::default()
     };
+    kept.mem.d_hits = stats.mem.d_hits;
+    kept.mem.d_misses = stats.mem.d_misses;
+    kept.mem.d_store_hits = stats.mem.d_store_hits;
+    kept.mem.contended_cycles = stats.mem.contended_cycles;
     kept
 }
 
@@ -186,7 +192,9 @@ impl StoredPoint {
                 "\"branches_taken\":{},\"branches_not_taken\":{},",
                 "\"data_wait_stalls\":{},\"queue_full_stalls\":{},\"branch_stalls\":{},",
                 "\"demand_requests\":{},\"prefetch_requests\":{},",
-                "\"redirects\":{},\"wasted_requests\":{}}}\n"
+                "\"redirects\":{},\"wasted_requests\":{},",
+                "\"d_hits\":{},\"d_misses\":{},\"d_store_hits\":{},",
+                "\"contended_cycles\":{}}}\n"
             ),
             STORE_VERSION,
             escape(&self.key),
@@ -211,6 +219,10 @@ impl StoredPoint {
             s.fetch.prefetch_requests,
             s.fetch.redirects,
             s.fetch.wasted_requests,
+            s.mem.d_hits,
+            s.mem.d_misses,
+            s.mem.d_store_hits,
+            s.mem.contended_cycles,
         )
     }
 
@@ -249,6 +261,10 @@ impl StoredPoint {
         stats.fetch.prefetch_requests = opt("prefetch_requests");
         stats.fetch.redirects = opt("redirects");
         stats.fetch.wasted_requests = opt("wasted_requests");
+        stats.mem.d_hits = opt("d_hits");
+        stats.mem.d_misses = opt("d_misses");
+        stats.mem.d_store_hits = opt("d_store_hits");
+        stats.mem.contended_cycles = opt("contended_cycles");
         Some(StoredPoint {
             key: field_str(text, "key")?,
             strategy: field_str(text, "strategy")?,

@@ -101,6 +101,18 @@ pub enum WorkloadSpec {
         /// Content hash of the trace file's bytes.
         fnv: u64,
     },
+    /// A program from the bundled assembly library (`programs/`),
+    /// assembled with `pipe-asm`. The key fragment includes the FNV-1a 64
+    /// digest of the source text, so stored results are invalidated
+    /// whenever the program is edited.
+    Asm {
+        /// Library program name (`pipe_asm::library`).
+        name: String,
+        /// Content hash of the assembly source text.
+        fnv: u64,
+        /// Instruction format to assemble under.
+        format: InstrFormat,
+    },
 }
 
 impl WorkloadSpec {
@@ -127,6 +139,30 @@ impl WorkloadSpec {
         Ok(WorkloadSpec::Trace {
             path: path.to_string_lossy().into_owned(),
             fnv,
+        })
+    }
+
+    /// A workload from the bundled assembly library: validates that the
+    /// program exists and assembles, and content-hashes its source.
+    ///
+    /// # Errors
+    ///
+    /// A user-facing message when `name` is not a bundled program or the
+    /// source fails to assemble under `format`.
+    pub fn asm(name: &str, format: InstrFormat) -> Result<WorkloadSpec, String> {
+        let lib = pipe_asm::find_program(name).ok_or_else(|| {
+            format!(
+                "unknown asm program `{name}` (available: {})",
+                pipe_asm::library::names().collect::<Vec<_>>().join(", ")
+            )
+        })?;
+        pipe_asm::Assembler::new(format)
+            .assemble(lib.source)
+            .map_err(|e| format!("{name} does not assemble: {e}"))?;
+        Ok(WorkloadSpec::Asm {
+            name: name.to_string(),
+            fnv: crate::store::fnv1a64(lib.source),
+            format,
         })
     }
 
@@ -158,6 +194,13 @@ impl WorkloadSpec {
             } => pipe_workloads::synthetic::tight_loop(*body, *trips, *format),
             WorkloadSpec::Trace { path, .. } => crate::tracerun::trace_program(Path::new(path))
                 .expect("trace workload validated at construction"),
+            WorkloadSpec::Asm { name, format, .. } => {
+                let lib =
+                    pipe_asm::find_program(name).expect("asm workload validated at construction");
+                pipe_asm::Assembler::new(*format)
+                    .assemble(lib.source)
+                    .expect("asm workload validated at construction")
+            }
         }
     }
 
@@ -173,6 +216,9 @@ impl WorkloadSpec {
                 format,
             } => format!("tight-loop:body={body},trips={trips},format={format}"),
             WorkloadSpec::Trace { fnv, .. } => format!("trace:fnv={fnv:016x}"),
+            WorkloadSpec::Asm { name, fnv, format } => {
+                format!("asm:name={name},fnv={fnv:016x},format={format}")
+            }
         }
     }
 }
@@ -187,15 +233,25 @@ pub fn mem_key(mem: &MemConfig) -> String {
         ),
         None => "none".to_string(),
     };
+    // The D-cache fragment appears only when one is configured, so every
+    // key minted before the D-cache existed stays byte-identical.
+    let dcache = match &mem.d_cache {
+        Some(d) => format!(
+            ",dcache=size={},line={},ways={}",
+            d.size_bytes, d.line_bytes, d.ways
+        ),
+        None => String::new(),
+    };
     format!(
-        "access={},pipelined={},bus_in={},bus_out={},priority={},fpu={},ext={}",
+        "access={},pipelined={},bus_in={},bus_out={},priority={},fpu={},ext={}{}",
         mem.access_cycles,
         mem.pipelined,
         mem.in_bus_bytes,
         mem.out_bus_bytes,
         mem.priority,
         mem.fpu_latency,
-        ext
+        ext,
+        dcache
     )
 }
 

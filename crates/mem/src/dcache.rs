@@ -1,0 +1,300 @@
+//! An optional on-chip data cache.
+//!
+//! The paper's PIPE processor has no data cache: every load and store
+//! crosses the chip boundary and competes with instruction fetch for the
+//! shared memory port. This module adds the natural extension study — a
+//! small write-through, no-write-allocate D-cache in front of the port.
+//! A load that hits is serviced on chip (one-cycle latency) without
+//! touching the port at all, so D-cache capacity directly relieves the
+//! I-vs-D bus contention the paper's priority knob arbitrates.
+//!
+//! Like [`crate::extcache::ExternalCache`], the cache is a *tag-only*
+//! timing model: data values always come from the single
+//! [`crate::DataMemory`] image, which write-through keeps coherent by
+//! construction.
+
+use std::fmt;
+
+use crate::error::{require_at_most, require_power_of_two, ConfigError};
+
+/// Geometry of the on-chip data cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DCacheConfig {
+    /// Capacity in bytes (power of two).
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two, ≤ size).
+    pub line_bytes: u32,
+    /// Associativity (power of two, ≤ number of lines). 1 is
+    /// direct-mapped.
+    pub ways: u32,
+}
+
+impl DCacheConfig {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for non-power-of-two or inconsistent
+    /// sizes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_power_of_two("d_cache.size_bytes", self.size_bytes)?;
+        require_power_of_two("d_cache.line_bytes", self.line_bytes)?;
+        require_at_most(
+            "d_cache.line_bytes",
+            self.line_bytes,
+            "d_cache.size_bytes",
+            self.size_bytes,
+        )?;
+        require_power_of_two("d_cache.ways", self.ways)?;
+        require_at_most(
+            "d_cache.ways",
+            self.ways,
+            "d_cache.size_bytes / d_cache.line_bytes",
+            self.size_bytes / self.line_bytes,
+        )
+    }
+}
+
+impl fmt::Display for DCacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B d-cache, {}B lines, {}-way",
+            self.size_bytes, self.line_bytes, self.ways
+        )
+    }
+}
+
+/// The D-cache tag store: set-associative with true-LRU replacement.
+///
+/// Loads probe with [`lookup`](DCache::lookup) every cycle their request
+/// stands; only a hit mutates state (LRU touch + hit counter), so a
+/// blocked missing load does not inflate the miss count — the miss is
+/// charged once, by [`fill`](DCache::fill), when the memory port accepts
+/// it. Stores are write-through and never allocate:
+/// [`store_probe`](DCache::store_probe) just refreshes LRU and counts
+/// whether the line was present.
+#[derive(Debug, Clone)]
+pub struct DCache {
+    cfg: DCacheConfig,
+    sets: u32,
+    /// `sets * ways` slots, way-major within each set.
+    tags: Vec<Option<u32>>,
+    /// LRU stamps parallel to `tags`; larger is more recent.
+    stamps: Vec<u64>,
+    touch: u64,
+    hits: u64,
+    misses: u64,
+    store_hits: u64,
+}
+
+impl DCache {
+    /// Creates an empty D-cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: DCacheConfig) -> DCache {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DCacheConfig: {e}");
+        }
+        let lines = cfg.size_bytes / cfg.line_bytes;
+        let sets = lines / cfg.ways;
+        DCache {
+            cfg,
+            sets,
+            tags: vec![None; lines as usize],
+            stamps: vec![0; lines as usize],
+            touch: 0,
+            hits: 0,
+            misses: 0,
+            store_hits: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DCacheConfig {
+        &self.cfg
+    }
+
+    /// Returns the slot range of the set holding `addr`, and its tag.
+    fn set_and_tag(&self, addr: u32) -> (usize, u32) {
+        let line = addr / self.cfg.line_bytes;
+        let set = line % self.sets;
+        ((set * self.cfg.ways) as usize, line / self.sets)
+    }
+
+    fn find(&self, base: usize, tag: u32) -> Option<usize> {
+        (base..base + self.cfg.ways as usize).find(|&i| self.tags[i] == Some(tag))
+    }
+
+    /// Probes for a load: on a hit, refreshes LRU, counts it, and returns
+    /// `true`. A miss leaves the cache untouched (the caller charges it
+    /// via [`fill`](DCache::fill) once the port accepts the request).
+    pub fn lookup(&mut self, addr: u32) -> bool {
+        let (base, tag) = self.set_and_tag(addr);
+        match self.find(base, tag) {
+            Some(slot) => {
+                self.touch += 1;
+                self.stamps[slot] = self.touch;
+                self.hits += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Allocates the line holding `addr` (evicting LRU) and counts a miss.
+    pub fn fill(&mut self, addr: u32) {
+        let (base, tag) = self.set_and_tag(addr);
+        self.misses += 1;
+        self.touch += 1;
+        let slot = self.find(base, tag).unwrap_or_else(|| {
+            (base..base + self.cfg.ways as usize)
+                .min_by_key(|&i| self.stamps[i])
+                .expect("ways >= 1")
+        });
+        self.tags[slot] = Some(tag);
+        self.stamps[slot] = self.touch;
+    }
+
+    /// Probes for a write-through store: refreshes LRU and counts a store
+    /// hit when the line is present; never allocates.
+    pub fn store_probe(&mut self, addr: u32) -> bool {
+        let (base, tag) = self.set_and_tag(addr);
+        match self.find(base, tag) {
+            Some(slot) => {
+                self.touch += 1;
+                self.stamps[slot] = self.touch;
+                self.store_hits += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Lifetime load hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime load misses (charged at port acceptance).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime store hits (write-through; stores always use the port).
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(size: u32, line: u32, ways: u32) -> DCache {
+        DCache::new(DCacheConfig {
+            size_bytes: size,
+            line_bytes: line,
+            ways,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = cache(256, 16, 1);
+        assert!(!c.lookup(0x100));
+        assert_eq!(c.misses(), 0, "probing a miss does not charge it");
+        c.fill(0x100);
+        assert_eq!(c.misses(), 1);
+        assert!(c.lookup(0x104), "same line");
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = cache(64, 16, 1); // 4 lines
+        c.fill(0x00);
+        c.fill(0x40); // same set (line 0 vs line 4, 4 sets)
+        assert!(!c.lookup(0x00));
+        assert!(c.lookup(0x40));
+    }
+
+    #[test]
+    fn two_way_keeps_both_conflicting_lines() {
+        let mut c = cache(64, 16, 2); // 4 lines, 2 sets
+        c.fill(0x00);
+        c.fill(0x20); // same set, second way
+        assert!(c.lookup(0x00));
+        assert!(c.lookup(0x20));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_way() {
+        let mut c = cache(64, 16, 2); // 2 sets of 2 ways
+        c.fill(0x00);
+        c.fill(0x20);
+        assert!(c.lookup(0x00)); // 0x00 now MRU
+        c.fill(0x40); // same set: evicts 0x20
+        assert!(c.lookup(0x00));
+        assert!(!c.lookup(0x20));
+        assert!(c.lookup(0x40));
+    }
+
+    #[test]
+    fn store_probe_never_allocates() {
+        let mut c = cache(256, 16, 1);
+        assert!(!c.store_probe(0x100));
+        assert!(!c.lookup(0x100), "store miss must not allocate");
+        c.fill(0x100);
+        assert!(c.store_probe(0x104));
+        assert_eq!(c.store_hits(), 1);
+    }
+
+    #[test]
+    fn fully_associative_geometry() {
+        let mut c = cache(64, 16, 4); // one set, 4 ways
+        for a in [0x00u32, 0x10, 0x20, 0x30] {
+            c.fill(a);
+        }
+        for a in [0x00u32, 0x10, 0x20, 0x30] {
+            assert!(c.lookup(a));
+        }
+    }
+
+    #[test]
+    fn validation() {
+        for bad in [
+            DCacheConfig {
+                size_bytes: 0,
+                line_bytes: 16,
+                ways: 1,
+            },
+            DCacheConfig {
+                size_bytes: 64,
+                line_bytes: 128,
+                ways: 1,
+            },
+            DCacheConfig {
+                size_bytes: 64,
+                line_bytes: 16,
+                ways: 3,
+            },
+            DCacheConfig {
+                size_bytes: 64,
+                line_bytes: 16,
+                ways: 8,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        assert!(DCacheConfig {
+            size_bytes: 1024,
+            line_bytes: 16,
+            ways: 2,
+        }
+        .validate()
+        .is_ok());
+    }
+}

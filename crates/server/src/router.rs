@@ -212,7 +212,14 @@ fn parse_workload(body: &str) -> Result<WorkloadSpec, String> {
                 format,
             })
         }
-        Some(other) => Err(format!("unknown workload `{other}` (livermore|tight-loop)")),
+        Some("asm") => {
+            let name = field_str(body, "program")
+                .ok_or("workload `asm` needs a `program` field (a bundled program name)")?;
+            WorkloadSpec::asm(&name, format)
+        }
+        Some(other) => Err(format!(
+            "unknown workload `{other}` (livermore|tight-loop|asm)"
+        )),
     }
 }
 
@@ -263,6 +270,15 @@ fn parse_simulate_body(body: &str) -> Result<SimPoint, String> {
     if let Some(data_first) = field_bool(body, "data_first") {
         if data_first {
             mem.priority = pipe_mem::PriorityPolicy::DataFirst;
+        }
+    }
+    if let Some(dcache) = field_u64(body, "dcache") {
+        if dcache > 0 {
+            mem.d_cache = Some(pipe_mem::DCacheConfig {
+                size_bytes: dcache as u32,
+                line_bytes: field_u64(body, "dline").unwrap_or(16) as u32,
+                ways: field_u64(body, "dways").unwrap_or(1) as u32,
+            });
         }
     }
     mem.validate().map_err(|e| e.to_string())?;
@@ -450,8 +466,16 @@ fn handle_workloads(state: &AppState) -> Response {
     body.push_str(
         "],\"available\":[\
          {\"workload\":\"livermore\",\"fields\":[\"scale\",\"format\"]},\
-         {\"workload\":\"tight-loop\",\"fields\":[\"body\",\"trips\",\"format\"]}]}",
+         {\"workload\":\"tight-loop\",\"fields\":[\"body\",\"trips\",\"format\"]},\
+         {\"workload\":\"asm\",\"fields\":[\"program\",\"format\"],\"programs\":[",
     );
+    for (i, name) in pipe_asm::library::names().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("\"{}\"", escape(name)));
+    }
+    body.push_str("]}]}");
     Response::json(200, body)
 }
 

@@ -1,0 +1,111 @@
+; 4x4 single-precision matrix multiply: C = A * B.
+;
+; All floating-point work goes through the memory-mapped FPU: a store to
+; FPU+0 latches operand A, a store to FPU+4 (multiply) or FPU+8 (add)
+; supplies operand B and triggers the operation, and the result comes
+; back through the load queue (readable as r7).
+;
+; A is filled with A[i][j] = (i + j + 1).0 and B is the identity, so the
+; product C must equal A bit-for-bit (adding 0.0 terms is exact).
+;
+; Register use:
+;   r0  j (column) counter        r4  i (row) counter
+;   r1  A row pointer             r5  FPU base
+;   r2  B column pointer          r6  C element pointer
+;   r3  accumulator
+
+.equ FPU,   0xFFFFF000
+.equ ABASE, 0x400
+.equ BBASE, 0x440
+.equ CBASE, 0x480
+.equ N,     4
+
+        li32 r5, FPU
+        li32 r1, ABASE
+        li32 r6, CBASE
+        lim  r4, N
+        lbr  b1, iloop
+        lbr  b0, jloop
+
+iloop:  lim  r0, N
+        li32 r2, BBASE          ; rewind B to column 0 for this row
+
+jloop:
+        ; k = 0: acc = A[i][0] * B[0][j]
+        ldw  r1, 0
+        ldw  r2, 0
+        sta  r5, 0              ; FPU operand A = A[i][0]
+        or   r7, r7, r7
+        sta  r5, 4              ; multiply by B[0][j]
+        or   r7, r7, r7
+        or   r3, r7, r7         ; acc = product
+
+        ; k = 1: acc += A[i][1] * B[1][j]
+        ldw  r1, 4
+        ldw  r2, 16
+        sta  r5, 0
+        or   r7, r7, r7
+        sta  r5, 4
+        or   r7, r7, r7
+        sta  r5, 0              ; FPU operand A = acc
+        or   r7, r3, r3
+        sta  r5, 8              ; add the product
+        or   r7, r7, r7
+        or   r3, r7, r7
+
+        ; k = 2
+        ldw  r1, 8
+        ldw  r2, 32
+        sta  r5, 0
+        or   r7, r7, r7
+        sta  r5, 4
+        or   r7, r7, r7
+        sta  r5, 0
+        or   r7, r3, r3
+        sta  r5, 8
+        or   r7, r7, r7
+        or   r3, r7, r7
+
+        ; k = 3
+        ldw  r1, 12
+        ldw  r2, 48
+        sta  r5, 0
+        or   r7, r7, r7
+        sta  r5, 4
+        or   r7, r7, r7
+        sta  r5, 0
+        or   r7, r3, r3
+        sta  r5, 8
+        or   r7, r7, r7
+        or   r3, r7, r7
+
+        ; C[i][j] = acc
+        sta  r6, 0
+        or   r7, r3, r3
+        addi r6, r6, 4
+
+        addi r2, r2, 4          ; next column
+        subi r0, r0, 1
+        pbr.nez b0, r0, 0
+
+        addi r1, r1, 16         ; next row
+        subi r4, r4, 1
+        pbr.nez b1, r4, 0
+        halt
+
+; A[i][j] = (i + j + 1).0
+.org ABASE
+amat:   .word 0x3f800000, 0x40000000, 0x40400000, 0x40800000
+        .word 0x40000000, 0x40400000, 0x40800000, 0x40a00000
+        .word 0x40400000, 0x40800000, 0x40a00000, 0x40c00000
+        .word 0x40800000, 0x40a00000, 0x40c00000, 0x40e00000
+
+; B = identity
+.org BBASE
+bmat:   .word 0x3f800000, 0x00000000, 0x00000000, 0x00000000
+        .word 0x00000000, 0x3f800000, 0x00000000, 0x00000000
+        .word 0x00000000, 0x00000000, 0x3f800000, 0x00000000
+        .word 0x00000000, 0x00000000, 0x00000000, 0x3f800000
+
+.org CBASE
+cmat:

@@ -1,0 +1,36 @@
+; Copy sixteen words from SRC to DST through the load/store queues.
+;
+; Each trip loads one word (ldw pushes the load-address queue), then the
+; `or r7, r7, r7` pops the arrived value off the load queue and pushes
+; it straight onto the store-data queue, where it pairs with the address
+; from `sta`.
+;
+; Register use:
+;   r1  source pointer    r2  destination pointer    r3  trip counter
+
+.equ SRC,   0x400
+.equ DST,   0x480
+.equ COUNT, 16
+
+        li32 r1, SRC
+        li32 r2, DST
+        lim  r3, COUNT
+        lbr  b0, loop
+
+loop:   ldw  r1, 0
+        sta  r2, 0
+        or   r7, r7, r7
+        addi r1, r1, 4
+        addi r2, r2, 4
+        subi r3, r3, 1
+        pbr.nez b0, r3, 0
+        halt
+
+.org SRC
+src:    .word 0x101, 0x202, 0x303, 0x404
+        .word 0x505, 0x606, 0x707, 0x808
+        .word 0x909, 0xa0a, 0xb0b, 0xc0c
+        .word 0xd0d, 0xe0e, 0xf0f, 0x1010
+
+.org DST
+dst:

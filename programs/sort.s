@@ -1,0 +1,51 @@
+; Bubble sort of eight words, initialised in descending order.
+;
+; Every comparison loads both neighbours through the load queue and
+; writes both back (in sorted order), so the inner loop exercises the
+; data side of the memory port heavily — the worst case for I/D port
+; contention and the best case for an on-chip D-cache.
+;
+; Register use:
+;   r1  element pointer           r4  left element
+;   r2  remaining passes          r5  right element
+;   r3  comparisons this pass     r6  left - right
+
+.equ BASE, 0x400
+.equ N,    8
+
+        lbr  b0, inner
+        lbr  b1, doswap
+        lbr  b2, cont
+        lbr  b3, outer
+        lim  r2, 7              ; N - 1 passes
+
+outer:  li32 r1, BASE
+        mov  r3, r2             ; shrinking inner loop
+
+inner:  ldw  r1, 0
+        ldw  r1, 4
+        or   r4, r7, r7         ; left
+        or   r5, r7, r7         ; right
+        sub  r6, r4, r5
+        pbr.gtz b1, r6, 0       ; out of order: store swapped
+        sta  r1, 0              ; in order: store back as-is
+        or   r7, r4, r4
+        sta  r1, 4
+        or   r7, r5, r5
+        pbr  b2, r0, 0
+
+doswap: sta  r1, 0
+        or   r7, r5, r5
+        sta  r1, 4
+        or   r7, r4, r4
+
+cont:   addi r1, r1, 4
+        subi r3, r3, 1
+        pbr.nez b0, r3, 0
+
+        subi r2, r2, 1
+        pbr.nez b3, r2, 0
+        halt
+
+.org BASE
+values: .word 8, 7, 6, 5, 4, 3, 2, 1
